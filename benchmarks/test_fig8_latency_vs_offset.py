@@ -1,0 +1,38 @@
+"""Figure 8 (right): multiversion latency vs. offset.
+
+Paper's shape: the smaller the overlap between the server-update and the
+client-read patterns, the fewer reads need an old version from the end
+of the bcast, so the multiversion latency penalty shrinks.
+"""
+
+import math
+
+from repro.experiments import fig8
+from repro.experiments.render import render_sweep
+
+OFFSETS = (0, 30, 60)
+
+
+def regenerate(bench_profile, bench_params):
+    return fig8.run_right(
+        profile=bench_profile, params=bench_params, offset_sweep=OFFSETS
+    )
+
+
+def test_fig8_latency_vs_offset(benchmark, bench_profile, bench_params):
+    sweep = benchmark.pedantic(
+        regenerate, args=(bench_profile, bench_params), rounds=1, iterations=1
+    )
+    print()
+    print(render_sweep(sweep, precision=2))
+
+    ys = sweep.series["multiversion"]
+    assert all(not math.isnan(y) for y in ys)
+    # Latency at maximal overlap is the worst (loose tolerance: one
+    # half-cycle of noise on the reduced profile).
+    assert ys[0] >= ys[-1] - 1.0
+    # The cached variant is never slower than the plain one.
+    cached = sweep.series["multiversion+cache"]
+    for plain_y, cached_y in zip(ys, cached):
+        if not math.isnan(cached_y):
+            assert cached_y <= plain_y + 0.5

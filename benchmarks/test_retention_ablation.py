@@ -1,0 +1,38 @@
+"""V-multiversion retention ablation (Section 3.2).
+
+Paper's claim: a V-multiversion server guarantees transactions with span
+<= V and lets longer ones run at their own risk; V dials bandwidth
+against concurrency.  Expected shape: abort rate falls monotonically as
+V grows and hits zero once V covers the maximum span, while the bcast
+length grows with V.
+"""
+
+from repro.experiments import retention
+from repro.experiments.render import render_sweep
+
+SWEEP = (1, 4, 16)
+
+
+def regenerate(bench_profile, bench_params):
+    return retention.run(
+        profile=bench_profile, params=bench_params, retention_sweep=SWEEP
+    )
+
+
+def test_retention_ablation(benchmark, bench_profile, bench_params):
+    sweep = benchmark.pedantic(
+        regenerate, args=(bench_profile, bench_params), rounds=1, iterations=1
+    )
+    print()
+    print(render_sweep(sweep, precision=3))
+
+    aborts = sweep.series["abort_rate"]
+    slots = sweep.series["slots_per_cycle"]
+    # More retained versions, fewer aborts...
+    assert sweep.monotone_decreasing("abort_rate", tolerance=0.05)
+    # ...until the span is covered and nothing aborts at all.
+    assert aborts[-1] == 0.0
+    # Risky V=1 server must actually lose transactions.
+    assert aborts[0] > 0.0
+    # Bandwidth is the price: the bcast grows with V.
+    assert sweep.monotone_increasing("slots_per_cycle")

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Mobile news readers with flaky connectivity (Section 5.2.2).
+
+A road-traffic / news service broadcasts 300 bulletins to vehicles that
+drive through tunnels and dead zones: every client randomly misses
+broadcast cycles.  Queries assemble multi-bulletin digests that must be
+mutually consistent (e.g. an incident report plus the detour that was
+computed from it).
+
+The example measures Table 1's disconnection-tolerance row:
+
+* invalidation-only and plain SGT lose every active query when a report
+  is missed;
+* multiversion broadcast lets sleeping clients catch up as long as the
+  versions they need are still on the air;
+* SGT with the version-number enhancement survives gaps by refusing
+  post-gap values only.
+
+    python examples/mobile_newsreader.py
+"""
+
+from repro import ModelParameters, Simulation
+from repro.client.disconnect import RandomDisconnections
+from repro.core import (
+    InvalidationOnly,
+    MultiversionBroadcast,
+    SerializationGraphTesting,
+)
+
+
+def newsreader_params() -> ModelParameters:
+    return (
+        ModelParameters()
+        .with_server(
+            broadcast_size=300,
+            update_range=150,
+            offset=30,
+            updates_per_cycle=15,
+            transactions_per_cycle=5,
+            items_per_bucket=10,
+            retention=24,  # generous version retention for sleepy clients
+        )
+        .with_client(
+            read_range=100,
+            ops_per_query=5,
+            think_time=1.0,
+            cache_size=40,
+            max_attempts=8,
+        )
+        .with_sim(num_cycles=120, warmup_cycles=10, num_clients=8, seed=99)
+    )
+
+
+def tunnel_prone(rng):
+    """Each heard cycle: 12% chance to enter a ~2-cycle dead zone."""
+    return RandomDisconnections(
+        p_disconnect=0.12, mean_outage_cycles=2.0, rng=rng
+    )
+
+
+def run(name, factory, disconnected):
+    sim = Simulation(
+        newsreader_params(),
+        scheme_factory=factory,
+        disconnect_factory=tunnel_prone if disconnected else None,
+    )
+    result = sim.run()
+    killed = result.abort_count("disconnected")
+    return result, killed
+
+
+def main() -> None:
+    schemes = {
+        "invalidation-only": lambda: InvalidationOnly(use_cache=True),
+        "multiversion bcast": lambda: MultiversionBroadcast(),
+        "SGT + cache": lambda: SerializationGraphTesting(use_cache=True),
+        "SGT enhanced": lambda: SerializationGraphTesting(
+            use_cache=True, enhanced_disconnections=True
+        ),
+    }
+
+    print("News digests on a flaky wireless broadcast")
+    print("=" * 74)
+    header = (
+        f"{'scheme':<20} {'connected':>10} {'flaky':>10} "
+        f"{'lost to gaps':>12} {'degradation':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name, factory in schemes.items():
+        stable, _ = run(name, factory, disconnected=False)
+        flaky, killed = run(name, factory, disconnected=True)
+        degradation = stable.acceptance_rate - flaky.acceptance_rate
+        print(
+            f"{name:<20} {stable.acceptance_rate:>10.1%} "
+            f"{flaky.acceptance_rate:>10.1%} {killed:>12} "
+            f"{degradation:>+12.1%}"
+        )
+
+    print()
+    print("Multiversion broadcast shrugs off dead zones (old versions stay")
+    print("on the air for S cycles); the invalidation-driven schemes lose")
+    print("every query that spans a gap, and the SGT version-number")
+    print("enhancement recovers part of that loss.")
+
+
+if __name__ == "__main__":
+    main()

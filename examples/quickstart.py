@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: one broadcast server, one client, one consistency scheme.
+
+Runs the paper's default workload (1000-item broadcast, Zipf access,
+50 updates per cycle) with serialization-graph testing plus a client
+cache, and prints what the client experienced.
+
+    python examples/quickstart.py
+"""
+
+from repro import ModelParameters, Simulation
+from repro.core import SerializationGraphTesting
+
+
+def main() -> None:
+    params = (
+        ModelParameters()
+        .with_client(ops_per_query=8)
+        .with_sim(num_cycles=80, warmup_cycles=8, num_clients=4, seed=2026)
+    )
+
+    sim = Simulation(
+        params,
+        scheme_factory=lambda: SerializationGraphTesting(use_cache=True),
+    )
+    result = sim.run()
+
+    print("Scalable read-only transactions in broadcast push -- quickstart")
+    print("=" * 64)
+    print(f"scheme:                 {result.scheme_label}")
+    print(f"broadcast cycles run:   {result.cycles_completed}")
+    print(f"mean bcast length:      {result.mean_cycle_slots:.1f} buckets")
+    print(f"query attempts:         {result.total_attempts}")
+    print(f"committed:              {result.committed_attempts}")
+    print(f"abort rate:             {result.abort_rate:.1%}")
+    print(f"mean latency:           {result.mean_latency_cycles:.2f} cycles")
+    print(f"mean span:              {result.mean_span:.2f} cycles")
+
+    hit_ratio = result.metrics.get_sampler("cache.hit_ratio")
+    if hit_ratio is not None and hit_ratio.count:
+        print(f"cache hit ratio:        {hit_ratio.mean:.1%}")
+
+    print()
+    print("Every query was validated locally at the client -- the server")
+    print("was never contacted, so these numbers would be identical with")
+    print("one client or one million.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Stock-ticker dissemination: why consistency control matters.
+
+A server broadcasts 500 stock quotes; prices of actively traded symbols
+change every cycle.  Clients read *portfolios* -- several related quotes
+that must come from one consistent market snapshot (e.g. to compute a
+spread or a portfolio value).  Hot symbols are both the most read and
+the most updated (offset 0: maximal overlap).
+
+The example contrasts:
+
+* a naive client that just grabs quotes as they fly by -- and routinely
+  computes portfolio values no market state ever had;
+* the paper's schemes, which never do, at different abort/latency/
+  bandwidth trade-offs.
+
+    python examples/stock_ticker.py
+"""
+
+from repro import ModelParameters, Simulation
+from repro.core import (
+    InvalidationOnly,
+    InvalidationWithVersionedCache,
+    MultiversionBroadcast,
+    NoConsistency,
+    SerializationGraphTesting,
+)
+from repro.verify import violations
+
+
+def market_params() -> ModelParameters:
+    return (
+        ModelParameters()
+        .with_server(
+            broadcast_size=500,  # 500 listed symbols
+            update_range=250,  # half of them trade actively
+            offset=0,  # hot reads == hot updates
+            updates_per_cycle=40,  # trades per bcast period
+            transactions_per_cycle=8,
+            items_per_bucket=10,
+            retention=20,
+        )
+        .with_client(
+            read_range=125,  # symbols anyone holds
+            ops_per_query=6,  # portfolio size
+            think_time=1.0,
+            cache_size=60,
+            max_attempts=8,
+        )
+        .with_sim(num_cycles=100, warmup_cycles=10, num_clients=6, seed=7)
+    )
+
+
+def count_inconsistent(sim) -> int:
+    """Committed portfolios that correspond to *no* consistent market
+    state -- neither a broadcast snapshot nor any serializable point
+    (SGT legitimately commits off-snapshot but serializable readsets)."""
+    return len(violations(sim.clients, sim.database, sim.engine.history))
+
+
+def main() -> None:
+    schemes = {
+        "naive (no control)": lambda: NoConsistency(),
+        "invalidation-only": lambda: InvalidationOnly(use_cache=True),
+        "versioned cache": lambda: InvalidationWithVersionedCache(),
+        "multiversion bcast": lambda: MultiversionBroadcast(),
+        "SGT + cache": lambda: SerializationGraphTesting(use_cache=True),
+    }
+
+    print("Portfolio reads over a broadcast stock ticker")
+    print("=" * 78)
+    header = (
+        f"{'scheme':<20} {'committed':>9} {'inconsistent':>12} "
+        f"{'abort rate':>10} {'latency':>8} {'bcast len':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name, factory in schemes.items():
+        sim = Simulation(market_params(), scheme_factory=factory, keep_history=True)
+        result = sim.run()
+        bad = count_inconsistent(sim)
+        latency = result.mean_latency_cycles
+        print(
+            f"{name:<20} {result.committed_attempts:>9} {bad:>12} "
+            f"{result.abort_rate:>10.1%} {latency:>7.2f}c "
+            f"{result.mean_cycle_slots:>8.1f}b"
+        )
+
+    print()
+    print("The naive client commits portfolios that mix quotes from")
+    print("different market states; every paper scheme commits zero such")
+    print("portfolios and pays for it differently: invalidation-only with")
+    print("aborts, multiversion with bandwidth (longer bcasts) and older")
+    print("data, SGT with control information and client-side graph work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro -- Scalable Processing of Read-Only Transactions in Broadcast Push.
+
+A from-scratch reproduction of Pitoura & Chrysanthis (ICDCS 1999): a
+broadcast-push data server, clients that run consistent read-only
+transactions without ever contacting the server, and the paper's full
+suite of consistency protocols (invalidation-only, versioned cache,
+multiversion broadcast, serialization-graph testing, multiversion
+caching), evaluated by a discrete-event simulation.
+
+Quickstart::
+
+    from repro import ModelParameters, Simulation
+    from repro.core import SerializationGraphTesting
+
+    params = ModelParameters().with_sim(num_cycles=60)
+    sim = Simulation(params, scheme_factory=lambda: SerializationGraphTesting(use_cache=True))
+    result = sim.run()
+    print(result.abort_rate, result.mean_latency_cycles)
+"""
+
+from repro.config import (
+    ClientParameters,
+    DEFAULTS,
+    ModelParameters,
+    ServerParameters,
+    SimulationParameters,
+)
+from repro.runtime import Simulation, SimulationResult
+from repro.verify import check_transaction, violations
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientParameters",
+    "DEFAULTS",
+    "ModelParameters",
+    "ServerParameters",
+    "Simulation",
+    "SimulationParameters",
+    "SimulationResult",
+    "__version__",
+    "check_transaction",
+    "violations",
+]

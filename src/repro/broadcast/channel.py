@@ -1,0 +1,165 @@
+"""The broadcast channel: transmission timing and client tuning.
+
+One bucket is transmitted per slot (one simulated time unit); a bucket is
+considered delivered at the middle of its slot, so deliveries never
+collide with cycle boundaries.  The channel also provides the
+synchronization point clients use to tune in at the beginning of each
+bcast: the server installs the next program and *then* fires the
+cycle-start event, guaranteeing that a client resuming at the boundary
+always sees the new program and its control information.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Protocol, Tuple
+
+from repro.broadcast.program import BroadcastProgram, ItemRecord, OldVersionRecord
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.control import ControlInfo
+
+
+class ChannelListener(Protocol):
+    """Anything that wants the control segment at each cycle start."""
+
+    def on_cycle_start(self, program: BroadcastProgram) -> None:
+        """Called synchronously when a new cycle's program goes on air."""
+        ...  # pragma: no cover
+
+
+class BroadcastChannel:
+    """Models the (single, high-bandwidth) downstream broadcast channel."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._program: Optional[BroadcastProgram] = None
+        self._cycle_start_time: float = 0.0
+        self._listeners: List[ChannelListener] = []
+        self._cycle_started: Event = env.event()
+
+    # -- server side -------------------------------------------------------
+
+    def begin_cycle(self, program: BroadcastProgram) -> None:
+        """Install ``program`` and notify listeners; called by the server
+        at the exact cycle-start instant."""
+        self._program = program
+        self._cycle_start_time = self.env.now
+        for listener in self._listeners:
+            listener.on_cycle_start(program)
+        # Wake everyone waiting for the boundary, then arm a fresh event.
+        event, self._cycle_started = self._cycle_started, self.env.event()
+        event.succeed(program)
+
+    def publish_interim_report(self, report) -> None:
+        """Push a mid-cycle invalidation report (§7 sub-cycle extension).
+
+        Listeners that implement ``on_interim_report`` receive it; others
+        are unaffected (the main per-cycle report still covers everything).
+        """
+        for listener in self._listeners:
+            handler = getattr(listener, "on_interim_report", None)
+            if handler is not None:
+                handler(report)
+
+    def subscribe(self, listener: ChannelListener) -> None:
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ChannelListener) -> None:
+        self._listeners.remove(listener)
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def program(self) -> BroadcastProgram:
+        if self._program is None:
+            raise RuntimeError("The channel is not broadcasting yet")
+        return self._program
+
+    @property
+    def on_air(self) -> bool:
+        return self._program is not None
+
+    @property
+    def current_cycle(self) -> int:
+        return self.program.cycle
+
+    @property
+    def cycle_start_time(self) -> float:
+        return self._cycle_start_time
+
+    def cycle_started(self) -> Event:
+        """Event firing at the next cycle start with the new program."""
+        return self._cycle_started
+
+    # -- timing helpers -----------------------------------------------------------
+
+    def delivery_time(self, slot: int) -> float:
+        """Absolute delivery time of cycle-relative ``slot`` this cycle."""
+        return self._cycle_start_time + slot + 0.5
+
+    def relative_now(self) -> float:
+        """Time since the current cycle started."""
+        return self.env.now - self._cycle_start_time
+
+    # -- client-side tuning (simulation processes) ---------------------------------
+
+    def await_item(self, item: int):
+        """Process: wait until ``item``'s current value flies by.
+
+        Returns ``(record, cycle)`` where ``cycle`` is the broadcast cycle
+        the value was read from.  If the item has already passed in the
+        current cycle, waits for the next cycle.
+        """
+        while True:
+            program = self.program
+            slot = program.next_slot_of(item, self.relative_now())
+            if slot is not None:
+                record = program.record_of(item)
+                yield self.env.timeout(self.delivery_time(slot) - self.env.now)
+                return (record, program.cycle)
+            # Already flown by: sleep until the next bcast begins.
+            yield self.cycle_started()
+
+    def await_old_version(self, item: int, cycle: int):
+        """Process: wait for the on-air version of ``item`` current at
+        ``cycle`` (Theorem 2's read rule: largest version <= first-read
+        cycle).
+
+        Returns ``(record, found, valid_to)``: ``found`` is ``False`` when
+        the needed version is no longer on the air, in which case the
+        transaction must abort.  ``valid_to`` is the last cycle the value
+        was current for (``None`` when the current value satisfied the
+        read).  The current value qualifies when its version is old
+        enough; otherwise the old-version area is consulted, which in the
+        overflow organization means waiting until the end of the bcast.
+        """
+        while True:
+            program = self.program
+            now_rel = self.relative_now()
+
+            current = program.record_of(item)
+            if current.version <= cycle:
+                # The current value is the one we need.
+                slot = program.next_slot_of(item, now_rel)
+                if slot is not None:
+                    yield self.env.timeout(self.delivery_time(slot) - self.env.now)
+                    return (current, True, None)
+            else:
+                hit = program.old_version_at(item, cycle)
+                if hit is None:
+                    # Required version discarded from the air: abort.
+                    return (None, False, None)
+                old, slot = hit
+                if slot + 0.5 > now_rel:
+                    yield self.env.timeout(self.delivery_time(slot) - self.env.now)
+                    record = ItemRecord(
+                        item=old.item,
+                        value=old.value,
+                        version=old.version,
+                        writer=old.writer,
+                    )
+                    return (record, True, old.valid_to)
+            # Missed this cycle's copy; try again next cycle.
+            yield self.cycle_started()

@@ -1,0 +1,227 @@
+"""The physical content of one broadcast cycle.
+
+A program is what the server assembles at the start of a cycle and what
+the channel then transmits bucket by bucket:
+
+```
+[ control segment ][ data buckets ... ][ overflow buckets ... ]
+```
+
+* The control segment carries the :class:`~repro.core.control.ControlInfo`
+  (invalidation report, graph diff, window); its length in slots is
+  derived from the sizing model.
+* Data buckets hold :class:`ItemRecord` s -- current values tagged with
+  version (visibility cycle) and last-writer transaction id.  In the
+  *clustered* multiversion organization the old versions ride in the data
+  buckets right after the current value; in the *overflow* organization
+  each record instead carries a pointer into the overflow segment.
+* Overflow buckets hold :class:`OldVersionRecord` s in reverse
+  chronological order, mirroring Figure 2(b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.sgraph import TxnId
+
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> broadcast cycle
+    from repro.core.control import ControlInfo
+
+
+class MultiversionOrganization(Enum):
+    """Where old versions physically live (Section 3.2, Figure 2)."""
+
+    #: No old versions on the air at all.
+    NONE = "none"
+    #: All versions of an item transmitted successively (Figure 2(a));
+    #: item positions shift between cycles, so an index segment is needed.
+    CLUSTERED = "clustered"
+    #: Old versions collected in overflow buckets at the end of the bcast
+    #: (Figure 2(b)); item positions stay fixed, pointers link versions.
+    OVERFLOW = "overflow"
+
+
+@dataclass(frozen=True)
+class ItemRecord:
+    """The on-air representation of one (current) data item value."""
+
+    item: int
+    value: int
+    #: Broadcast cycle at whose beginning this value became current.
+    version: int
+    #: Last committed transaction that wrote the item (SGT tag); ``None``
+    #: for the initial database load.
+    writer: Optional[TxnId] = None
+    #: Overflow organization only: whether old versions exist on the air
+    #: for this item (the "pointer" of Figure 2(b)).
+    has_old_versions: bool = False
+
+
+@dataclass(frozen=True)
+class OldVersionRecord:
+    """An old version riding in the broadcast.
+
+    ``valid_to`` is the last cycle during which the value was current (its
+    successor became current at ``valid_to + 1``).
+    """
+
+    item: int
+    value: int
+    version: int
+    valid_to: int
+    writer: Optional[TxnId] = None
+
+    def covers(self, cycle: int) -> bool:
+        """Was this value the current one at ``cycle``?"""
+        return self.version <= cycle <= self.valid_to
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """The smallest logical broadcast unit (Section 2.1).
+
+    The header of a real system (offset to bcast start / next bcast) is
+    implicit: the channel knows every bucket's slot position.
+    """
+
+    index: int
+    records: Tuple[ItemRecord, ...] = ()
+    old_records: Tuple[OldVersionRecord, ...] = ()
+
+    @property
+    def items(self) -> Tuple[int, ...]:
+        return tuple(record.item for record in self.records)
+
+
+class BroadcastProgram:
+    """One cycle's fully laid-out broadcast.
+
+    Parameters
+    ----------
+    cycle:
+        The broadcast cycle number this program airs in.
+    control:
+        Control segment content.
+    control_slots:
+        Length of the control segment in slots (>= 1: clients always need
+        one slot to hear the report).
+    index_slots:
+        Extra index segment (clustered multiversion organization only).
+    data_buckets / overflow_buckets:
+        The payload.
+    """
+
+    def __init__(
+        self,
+        cycle: int,
+        control: "ControlInfo",
+        data_buckets: Sequence[Bucket],
+        overflow_buckets: Sequence[Bucket] = (),
+        control_slots: int = 1,
+        index_slots: int = 0,
+        organization: MultiversionOrganization = MultiversionOrganization.NONE,
+    ) -> None:
+        if control_slots < 1:
+            raise ValueError("control_slots must be at least 1")
+        self.cycle = cycle
+        self.control = control
+        self.control_slots = control_slots
+        self.index_slots = index_slots
+        self.data_buckets = list(data_buckets)
+        self.overflow_buckets = list(overflow_buckets)
+        self.organization = organization
+
+        # Slot layout: control, index, data, overflow.
+        self._data_start = control_slots + index_slots
+        self._overflow_start = self._data_start + len(self.data_buckets)
+        self.total_slots = self._overflow_start + len(self.overflow_buckets)
+
+        # item -> every slot it appears in (broadcast disks repeat items).
+        self._item_slots: Dict[int, List[int]] = {}
+        self._item_records: Dict[int, ItemRecord] = {}
+        for offset, bucket in enumerate(self.data_buckets):
+            slot = self._data_start + offset
+            for record in bucket.records:
+                self._item_slots.setdefault(record.item, []).append(slot)
+                self._item_records[record.item] = record
+
+        # Old versions: item -> records, plus the slot each rides in.
+        self._old_versions: Dict[int, List[Tuple[OldVersionRecord, int]]] = {}
+        for offset, bucket in enumerate(self.overflow_buckets):
+            slot = self._overflow_start + offset
+            for old in bucket.old_records:
+                self._old_versions.setdefault(old.item, []).append((old, slot))
+        # Clustered organization: old versions ride in the data buckets.
+        for offset, bucket in enumerate(self.data_buckets):
+            slot = self._data_start + offset
+            for old in bucket.old_records:
+                self._old_versions.setdefault(old.item, []).append((old, slot))
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def items(self) -> Sequence[int]:
+        return list(self._item_records)
+
+    def record_of(self, item: int) -> ItemRecord:
+        """The current-value record of ``item`` in this cycle."""
+        record = self._item_records.get(item)
+        if record is None:
+            raise KeyError(f"Item {item} is not in this broadcast")
+        return record
+
+    def slots_of(self, item: int) -> List[int]:
+        """All slots (cycle-relative) carrying ``item``'s current value."""
+        slots = self._item_slots.get(item)
+        if not slots:
+            raise KeyError(f"Item {item} is not in this broadcast")
+        return list(slots)
+
+    def next_slot_of(self, item: int, after: float) -> Optional[int]:
+        """First slot of ``item`` whose delivery is strictly after
+        cycle-relative time ``after``; ``None`` if it has already flown by
+        (the client must wait for the next cycle)."""
+        for slot in self._item_slots.get(item, ()):
+            if slot + 0.5 > after:
+                return slot
+        return None
+
+    def old_version_at(
+        self, item: int, cycle: int
+    ) -> Optional[Tuple[OldVersionRecord, int]]:
+        """The old version of ``item`` current at ``cycle``, with its slot.
+
+        Returns ``None`` when no on-air old version covers the cycle; the
+        caller should also check :meth:`record_of` (the current value may
+        itself be old enough).
+        """
+        for old, slot in self._old_versions.get(item, ()):
+            if old.covers(cycle):
+                return (old, slot)
+        return None
+
+    def page_of(self, item: int) -> int:
+        """Logical page (data-bucket index) of ``item`` -- the granularity
+        of cache invalidation and of the bucket-level reports (§7)."""
+        slots = self._item_slots.get(item)
+        if not slots:
+            raise KeyError(f"Item {item} is not in this broadcast")
+        return slots[0] - self._data_start
+
+    def old_versions_of(self, item: int) -> List[OldVersionRecord]:
+        return [old for old, _ in self._old_versions.get(item, ())]
+
+    @property
+    def total_old_versions(self) -> int:
+        return sum(len(v) for v in self._old_versions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<BroadcastProgram cycle={self.cycle} slots={self.total_slots} "
+            f"(control={self.control_slots}, index={self.index_slots}, "
+            f"data={len(self.data_buckets)}, overflow={len(self.overflow_buckets)})>"
+        )

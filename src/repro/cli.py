@@ -1,0 +1,190 @@
+"""Command-line interface: run a simulation from the shell.
+
+    python -m repro run --scheme sgt+cache --cycles 120 --clients 4
+    python -m repro schemes
+    python -m repro sizes --updates 50 --span 3
+
+Subcommands
+-----------
+``run``
+    One simulation with the chosen scheme and knobs; prints the result
+    summary (and, with ``--verify``, replays every committed query
+    against the correctness oracle).
+``schemes``
+    List the registered scheme labels.
+``sizes``
+    Print the analytic broadcast-size table (Figure 7 row) for the
+    chosen operating point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import ModelParameters
+from repro.core.control import ReportSchedule
+from repro.experiments.render import render_table
+from repro.experiments.schemes import SCHEME_FACTORIES, scheme_factory
+from repro.runtime import Simulation
+from repro.server.sizing import SizeModel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scalable processing of read-only transactions in broadcast "
+            "push (Pitoura & Chrysanthis, ICDCS 1999) -- reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument(
+        "--scheme",
+        default="sgt+cache",
+        choices=sorted(SCHEME_FACTORIES),
+        help="processing scheme (default: sgt+cache)",
+    )
+    run.add_argument("--cycles", type=int, default=120, help="broadcast cycles")
+    run.add_argument("--warmup", type=int, default=10, help="warm-up cycles")
+    run.add_argument("--clients", type=int, default=4, help="client count")
+    run.add_argument("--seed", type=int, default=42, help="RNG seed")
+    run.add_argument("--broadcast-size", type=int, default=1000, help="items (D)")
+    run.add_argument("--update-range", type=int, default=500)
+    run.add_argument("--updates", type=int, default=50, help="updates per cycle (U)")
+    run.add_argument("--offset", type=int, default=100)
+    run.add_argument("--ops", type=int, default=16, help="reads per query")
+    run.add_argument("--read-range", type=int, default=250)
+    run.add_argument("--cache-size", type=int, default=125)
+    run.add_argument("--think-time", type=float, default=2.0)
+    run.add_argument("--retention", type=int, default=16, help="S / V versions")
+    run.add_argument(
+        "--reports-per-cycle", type=int, default=1, help="sub-cycle reports (§7)"
+    )
+    run.add_argument(
+        "--report-window", type=int, default=0, help="w-window retransmission"
+    )
+    run.add_argument(
+        "--interleaved-server",
+        action="store_true",
+        help="run server transactions under the real 2PL lock manager",
+    )
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay every committed query against the correctness oracle",
+    )
+
+    sub.add_parser("schemes", help="list scheme labels")
+
+    sizes = sub.add_parser("sizes", help="analytic broadcast sizes (Figure 7)")
+    sizes.add_argument("--updates", type=int, default=50)
+    sizes.add_argument("--span", type=int, default=3)
+    sizes.add_argument("--broadcast-size", type=int, default=1000)
+
+    return parser
+
+
+def _params_from(args: argparse.Namespace) -> ModelParameters:
+    return (
+        ModelParameters()
+        .with_server(
+            broadcast_size=args.broadcast_size,
+            update_range=args.update_range,
+            updates_per_cycle=args.updates,
+            offset=args.offset,
+            retention=args.retention,
+        )
+        .with_client(
+            ops_per_query=args.ops,
+            read_range=args.read_range,
+            cache_size=args.cache_size,
+            think_time=args.think_time,
+        )
+        .with_sim(
+            num_cycles=args.cycles,
+            warmup_cycles=args.warmup,
+            num_clients=args.clients,
+            seed=args.seed,
+        )
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    schedule = ReportSchedule(
+        per_cycle=args.reports_per_cycle, window=args.report_window
+    )
+    sim = Simulation(
+        params,
+        scheme_factory=scheme_factory(args.scheme),
+        report_schedule=schedule,
+        keep_history=args.verify,
+        interleaved_server=args.interleaved_server,
+    )
+    result = sim.run()
+
+    rows = [
+        ["scheme", result.scheme_label],
+        ["cycles", str(result.cycles_completed)],
+        ["mean bcast length (buckets)", f"{result.mean_cycle_slots:.1f}"],
+        ["attempts", str(result.total_attempts)],
+        ["committed", str(result.committed_attempts)],
+        ["abort rate", f"{result.abort_rate:.3f}"],
+        ["latency (cycles)", f"{result.mean_latency_cycles:.2f}"],
+        ["span (cycles)", f"{result.mean_span:.2f}"],
+    ]
+    for name, counter in sorted(result.metrics.counters()):
+        if name.startswith("abort."):
+            rows.append([name, str(counter.value)])
+    print(render_table(["measure", "value"], rows, title="simulation result"))
+
+    if args.verify:
+        from repro.verify import violations
+
+        bad = violations(sim.clients, sim.database, sim.engine.history)
+        print(f"correctness oracle: {len(bad)} violation(s)")
+        if bad:
+            for txn in bad[:5]:
+                print(f"  {txn.txn_id}: {dict(txn.reads)}")
+            return 1
+    return 0
+
+
+def _command_schemes() -> int:
+    for name in sorted(SCHEME_FACTORIES):
+        print(name)
+    return 0
+
+
+def _command_sizes(args: argparse.Namespace) -> int:
+    params = ModelParameters().with_server(broadcast_size=args.broadcast_size)
+    model = SizeModel(params.server)
+    row = model.figure7_row(updates=args.updates, span=args.span)
+    rows = [[scheme, f"{value:.2f}"] for scheme, value in sorted(row.items())]
+    print(
+        render_table(
+            ["scheme", "size increase (%)"],
+            rows,
+            title=f"U={args.updates}, span={args.span}, D={args.broadcast_size}",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "schemes":
+        return _command_schemes()
+    if args.command == "sizes":
+        return _command_sizes(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

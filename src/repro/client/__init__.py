@@ -1,0 +1,31 @@
+"""Client-side substrate: cache, query workload, and the client machine.
+
+* :class:`~repro.client.cache.ClientCache` -- the LRU page cache with
+  invalidation + autoprefetch of [Acharya et al.], extended with
+  validity-interval tracking (for the versioned cache of §4.1) and an
+  optional old-version partition (multiversion caching, §4.2).
+* :class:`~repro.client.query.QueryGenerator` -- Zipf read patterns over
+  the client's ``ReadRange`` with think times.
+* :class:`~repro.client.machine.BroadcastClient` -- the process that runs
+  queries through an attached :class:`~repro.core.base.Scheme`, retries
+  aborted attempts, and feeds the metrics registry.
+* :class:`~repro.client.disconnect.DisconnectionModel` -- intermittent
+  connectivity injection (§5.2.2).
+"""
+
+from repro.client.cache import CacheEntry, ClientCache
+from repro.client.disconnect import DisconnectionModel, NeverDisconnected, RandomDisconnections
+from repro.client.machine import BroadcastClient, ClientRuntime
+from repro.client.query import Query, QueryGenerator
+
+__all__ = [
+    "BroadcastClient",
+    "CacheEntry",
+    "ClientCache",
+    "ClientRuntime",
+    "DisconnectionModel",
+    "NeverDisconnected",
+    "Query",
+    "QueryGenerator",
+    "RandomDisconnections",
+]

@@ -1,0 +1,235 @@
+"""The broadcast client: runs queries through a processing scheme.
+
+One :class:`BroadcastClient` owns one scheme instance, one cache, and one
+query generator, and executes queries sequentially: draw a query, attempt
+it, retry on abort (up to ``max_attempts``), move on.  All consistency
+logic lives in the scheme; the machine provides the plumbing -- think
+times, read bookkeeping, retries, metrics -- and the *scalability
+property*: the only inputs a client ever consumes are the broadcast
+channel's cycle-start notifications and bucket deliveries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from repro.broadcast.channel import BroadcastChannel
+from repro.broadcast.program import BroadcastProgram
+from repro.client.cache import ClientCache
+from repro.client.disconnect import DisconnectionModel, NeverDisconnected
+from repro.client.query import Query, QueryGenerator
+from repro.config import ClientParameters
+from repro.core.base import ReadAborted, ReadContext, Scheme
+from repro.core.transaction import (
+    AbortReason,
+    ReadOnlyTransaction,
+    TransactionStatus,
+)
+from repro.sim.engine import Environment
+from repro.stats.metrics import MetricsRegistry
+
+
+class ClientRuntime:
+    """The narrow surface a scheme can touch (no server handle exists)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        channel: BroadcastChannel,
+        cache: Optional[ClientCache],
+        metrics: MetricsRegistry,
+        params: ClientParameters,
+    ) -> None:
+        self.env = env
+        self.channel = channel
+        self.cache = cache
+        self.metrics = metrics
+        self.params = params
+
+
+class BroadcastClient:
+    """One client process: queries, retries, metrics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        channel: BroadcastChannel,
+        scheme: Scheme,
+        params: ClientParameters,
+        metrics: Optional[MetricsRegistry] = None,
+        rng: Optional[random.Random] = None,
+        disconnect: Optional[DisconnectionModel] = None,
+        client_id: int = 0,
+        warmup_cycles: int = 0,
+    ) -> None:
+        self.env = env
+        self.channel = channel
+        self.scheme = scheme
+        self.params = params
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.rng = rng if rng is not None else random.Random()
+        self.disconnect = disconnect if disconnect is not None else NeverDisconnected()
+        self.client_id = client_id
+        self.warmup_cycles = warmup_cycles
+
+        self.cache: Optional[ClientCache] = None
+        if scheme.use_cache and params.cache_size > 0:
+            old_capacity = 0
+            if scheme.requirements().needs_versions_on_items:
+                old_capacity = int(params.cache_size * params.old_version_fraction)
+            self.cache = ClientCache(params.cache_size, old_capacity=old_capacity)
+
+        self.generator = QueryGenerator(params, rng=self.rng)
+        self.listening = True
+        self.last_heard_cycle = 0
+        self.missed_cycles = 0
+        self._txn_counter = 0
+        #: Every finished attempt, in completion order (the correctness
+        #: oracle in the test suite replays these against the database).
+        self.completed: list = []
+
+        runtime = ClientRuntime(env, channel, self.cache, self.metrics, params)
+        scheme.attach(ReadContext(runtime))
+        channel.subscribe(self)
+        self.process = env.process(self.run())
+
+    # -- channel listener -----------------------------------------------------
+
+    def on_cycle_start(self, program: BroadcastProgram) -> None:
+        cycle = program.cycle
+        if not self.disconnect.is_listening(cycle):
+            if self.listening:
+                self.metrics.count("client.disconnections")
+            self.listening = False
+            self.missed_cycles += 1
+            self.scheme.on_missed_cycle(cycle)
+            return
+        if not self.listening:
+            self._resynchronize(program)
+        self.listening = True
+        self.last_heard_cycle = cycle
+        if self.cache is not None:
+            self.cache.handle_cycle_start(program, self.channel)
+        self.scheme.on_cycle_start(program)
+
+    def on_interim_report(self, report) -> None:
+        """Forward a mid-cycle report to the scheme (if listening)."""
+        if self.listening:
+            self.scheme.on_interim_report(report)
+
+    def _resynchronize(self, program: BroadcastProgram) -> None:
+        """Reconnect after missed cycles: the cache cannot be trusted.
+
+        If the control segment retransmits reports covering every missed
+        cycle (the w-window extension, §7), replay them in order; else
+        drop the cache entirely -- stale entries would otherwise serve
+        values the client wrongly believes current.
+        """
+        if self.cache is None:
+            return
+        self.metrics.count("client.resyncs")
+        control = program.control
+        if control.missed_window_ok(self.last_heard_cycle):
+            for missed in range(self.last_heard_cycle + 1, program.cycle):
+                report = control.report_covering(missed)
+                if report is not None:
+                    self.cache.apply_missed_report(report)
+        else:
+            self.cache.clear()
+            self.metrics.count("client.cache_drops")
+
+    # -- the client loop ---------------------------------------------------------
+
+    def run(self) -> Generator:
+        if not self.channel.on_air:
+            yield self.channel.cycle_started()
+        while True:
+            query = self.generator.next_query()
+            yield from self._run_query(query)
+
+    def _run_query(self, query: Query) -> Generator:
+        attempts = 0
+        committed = False
+        measured = self.channel.current_cycle > self.warmup_cycles
+        while attempts < self.params.max_attempts and not committed:
+            attempts += 1
+            txn = self._new_transaction(query)
+            yield from self._attempt(txn)
+            self.completed.append(txn)
+            committed = txn.status is TransactionStatus.COMMITTED
+            if measured:
+                self._record_attempt(txn)
+        if measured:
+            self.metrics.record_outcome("query.completed", committed)
+            self.metrics.observe("query.attempts", attempts)
+            if self.cache is not None:
+                self.metrics.observe("cache.hit_ratio", self.cache.hit_ratio)
+
+    def _new_transaction(self, query: Query) -> ReadOnlyTransaction:
+        self._txn_counter += 1
+        return ReadOnlyTransaction(
+            txn_id=f"c{self.client_id}.q{query.query_id}.a{self._txn_counter}",
+            items=list(query.items),
+            start_time=self.env.now,
+            start_cycle=self.channel.current_cycle,
+        )
+
+    def _attempt(self, txn: ReadOnlyTransaction) -> Generator:
+        self.scheme.begin(txn)
+        try:
+            for item in txn.items:
+                think = self.generator.think_time()
+                if think > 0:
+                    yield self.env.timeout(think)
+                # A disconnected client receives nothing: block until the
+                # first cycle start it actually hears (its cache is also
+                # unsafe until the resynchronization there has run).
+                while not self.listening:
+                    yield self.channel.cycle_started()
+                self._raise_if_doomed(txn)
+                result = yield from self.scheme.read(txn, item)
+                self._raise_if_doomed(txn)
+                txn.record_read(result)
+            self._raise_if_doomed(txn)
+            self.scheme.finish(txn)
+            txn.commit(self.env.now, self.channel.current_cycle)
+        except ReadAborted as aborted:
+            if txn.status is not TransactionStatus.ABORTED:
+                txn.abort(aborted.reason, self.env.now, self.channel.current_cycle)
+        finally:
+            self.scheme.end(txn)
+        return txn
+
+    def _raise_if_doomed(self, txn: ReadOnlyTransaction) -> None:
+        """An invalidation report may have aborted the transaction while
+        it was thinking or waiting on the channel."""
+        if txn.status is TransactionStatus.ABORTED:
+            raise ReadAborted(
+                txn.abort_reason or AbortReason.INVALIDATED,
+                f"{txn.txn_id} was aborted between operations",
+            )
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def _record_attempt(self, txn: ReadOnlyTransaction) -> None:
+        committed = txn.status is TransactionStatus.COMMITTED
+        self.metrics.record_outcome("attempt.committed", committed)
+        if committed:
+            self.metrics.observe("txn.latency_cycles", txn.latency_cycles)
+            self.metrics.observe(
+                "txn.latency_slots", (txn.end_time or 0.0) - txn.start_time
+            )
+            self.metrics.observe("txn.span", txn.span)
+            cache_reads = sum(1 for r in txn.reads.values() if r.from_cache)
+            self.metrics.observe("txn.cache_reads", cache_reads)
+            state_cycle = self.scheme.state_cycle(txn)
+            if state_cycle is not None and txn.end_cycle is not None:
+                # Currency (Table 1): how far behind the commit-time state
+                # the transaction's consistent view is.
+                self.metrics.observe(
+                    "txn.currency_lag", txn.end_cycle - state_cycle
+                )
+        else:
+            reason = txn.abort_reason or AbortReason.INVALIDATED
+            self.metrics.count(f"abort.{reason.value}")

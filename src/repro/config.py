@@ -1,0 +1,186 @@
+"""Model parameters for the broadcast-push simulation.
+
+Mirrors the performance model of Section 5.1 (Figure 4) of the paper.  The
+available copy of the paper has several values corrupted by OCR; where a
+value is unreadable we substitute defaults consistent with the prose and
+with the broadcast-disks model of Acharya et al. [1] that the paper bases
+its setup on.  Every substituted value is marked below and is swept -- not
+hard-wired -- by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ServerParameters:
+    """Knobs describing the server workload (Figure 4, left column)."""
+
+    #: ``D`` -- number of items broadcast each cycle (paper default 1000).
+    broadcast_size: int = 1000
+    #: ``UpdateRange`` -- updates fall in ``1..update_range`` before the
+    #: offset rotation (paper default 500).
+    update_range: int = 500
+    #: Zipf skew for both reads and updates (paper default 0.95).
+    theta: float = 0.95
+    #: ``Offset`` between the client-read and server-update patterns
+    #: (paper sweeps 0-250, default 100).
+    offset: int = 100
+    #: ``N`` -- server transactions committed per broadcast cycle
+    #: (paper default 10).
+    transactions_per_cycle: int = 10
+    #: ``U`` -- total updates per cycle (paper sweeps 50-500, default 50).
+    updates_per_cycle: int = 50
+    #: Server reads per update; the paper fixes "read operations are four
+    #: times more frequent than updates".
+    reads_per_update: int = 4
+    #: ``k`` -- size of the key field in units (paper: 1 unit).
+    key_size: int = 1
+    #: ``d`` -- size of the other fields in units (paper: 5 * k).
+    data_size: int = 5
+    #: Items per bucket; the bucket size ``b`` in units is
+    #: ``items_per_bucket * (key_size + data_size)``.  [substituted: the
+    #: paper's ``b`` row is OCR-corrupted]
+    items_per_bucket: int = 10
+    #: ``S`` / ``V`` -- how many cycles an overwritten version stays on the
+    #: air for the multiversion broadcast method (0 disables).  The paper
+    #: defines ``S`` as the maximum transaction span; 16 comfortably covers
+    #: the default 16-operation query.  Smaller values model the paper's
+    #: ``V``-multiversion server, where longer transactions run at risk.
+    retention: int = 16
+
+    @property
+    def updates_per_transaction(self) -> int:
+        return max(1, self.updates_per_cycle // self.transactions_per_cycle)
+
+    @property
+    def reads_per_transaction(self) -> int:
+        """Total reads per server transaction (includes read-before-write)."""
+        return self.updates_per_transaction * self.reads_per_update
+
+    @property
+    def item_size(self) -> int:
+        """Wire size of one item (key + payload) in units."""
+        return self.key_size + self.data_size
+
+    @property
+    def bucket_size(self) -> int:
+        """``b`` -- bucket payload capacity in units."""
+        return self.items_per_bucket * self.item_size
+
+    @property
+    def data_buckets(self) -> int:
+        """Buckets needed for the (single-version) data segment."""
+        return math.ceil(self.broadcast_size / self.items_per_bucket)
+
+    def validate(self) -> None:
+        if not 0 < self.update_range <= self.broadcast_size:
+            raise ValueError(
+                "update_range must be in 1..broadcast_size "
+                f"({self.update_range} vs {self.broadcast_size})"
+            )
+        if self.updates_per_cycle > self.update_range:
+            raise ValueError(
+                "updates_per_cycle cannot exceed update_range "
+                f"({self.updates_per_cycle} vs {self.update_range})"
+            )
+        if self.offset < 0 or self.offset + self.update_range > 2 * self.broadcast_size:
+            raise ValueError(f"offset {self.offset} out of range")
+        if self.transactions_per_cycle <= 0:
+            raise ValueError("transactions_per_cycle must be positive")
+
+
+@dataclass(frozen=True)
+class ClientParameters:
+    """Knobs describing a client (Figure 4, right column)."""
+
+    #: ``ReadRange`` -- client reads items ``1..read_range``.
+    #: [substituted: OCR-corrupted; must be <= broadcast_size]
+    read_range: int = 250
+    #: Number of read operations per query (Figures 5/8 sweep this).
+    ops_per_query: int = 16
+    #: Zipf skew of the client access pattern (same theta as the server).
+    theta: float = 0.95
+    #: ``ThinkTime`` -- idle slots between consecutive reads.
+    #: [substituted: OCR-corrupted]
+    think_time: float = 2.0
+    #: ``CacheSize`` in items; 0 disables caching.
+    #: [substituted: OCR-corrupted; 125 = broadcast_size / 8]
+    cache_size: int = 125
+    #: Fraction of the cache reserved for old versions when the
+    #: multiversion-caching scheme partitions it (Section 4.2).
+    old_version_fraction: float = 0.2
+    #: Give up and count a query as failed after this many aborted
+    #: attempts (prevents livelock in extreme configurations).
+    max_attempts: int = 10
+    #: Order a query's reads by broadcast position (the "transaction
+    #: optimization" of Section 2.2); off by default to match the
+    #: latency expectations quoted with Figure 8.
+    sort_reads: bool = False
+
+    def validate(self) -> None:
+        if self.read_range <= 0:
+            raise ValueError("read_range must be positive")
+        if self.ops_per_query <= 0:
+            raise ValueError("ops_per_query must be positive")
+        if not 0.0 <= self.old_version_fraction < 1.0:
+            raise ValueError("old_version_fraction must be in [0, 1)")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Run-control knobs (not part of the paper's model)."""
+
+    #: Broadcast cycles to simulate.
+    num_cycles: int = 120
+    #: Cycles to discard before measuring (cache warm-up).
+    warmup_cycles: int = 10
+    #: Concurrent client processes (protocols are client-local, so this
+    #: only matters for the scalability experiment).
+    num_clients: int = 1
+    #: RNG seed for reproducibility.
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.num_cycles <= self.warmup_cycles:
+            raise ValueError("num_cycles must exceed warmup_cycles")
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Complete parameterization of one simulation run."""
+
+    server: ServerParameters = field(default_factory=ServerParameters)
+    client: ClientParameters = field(default_factory=ClientParameters)
+    sim: SimulationParameters = field(default_factory=SimulationParameters)
+
+    def validate(self) -> None:
+        self.server.validate()
+        self.client.validate()
+        self.sim.validate()
+        if self.client.read_range > self.server.broadcast_size:
+            raise ValueError(
+                "client read_range cannot exceed broadcast_size "
+                f"({self.client.read_range} vs {self.server.broadcast_size})"
+            )
+
+    # -- fluent override helpers used throughout the harness ---------------
+
+    def with_server(self, **kwargs) -> "ModelParameters":
+        return replace(self, server=replace(self.server, **kwargs))
+
+    def with_client(self, **kwargs) -> "ModelParameters":
+        return replace(self, client=replace(self.client, **kwargs))
+
+    def with_sim(self, **kwargs) -> "ModelParameters":
+        return replace(self, sim=replace(self.sim, **kwargs))
+
+
+DEFAULTS = ModelParameters()

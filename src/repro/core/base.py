@@ -1,0 +1,197 @@
+"""The scheme interface shared by every read-only processing protocol.
+
+A scheme is purely client-local logic: it sees the control information at
+the start of each broadcast cycle (:meth:`Scheme.on_cycle_start`), mediates
+every read (:meth:`Scheme.read`, a simulation sub-process that may wait on
+the channel or consult the cache), and validates the final commit
+(:meth:`Scheme.finish`).  It *never* talks to the server -- that is the
+paper's scalability property, and the test suite asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Tuple
+
+from repro.broadcast.program import BroadcastProgram, ItemRecord
+from repro.core.control import BroadcastRequirements
+from repro.core.transaction import (
+    AbortReason,
+    ReadOnlyTransaction,
+    ReadResult,
+    TransactionStatus,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.client.machine import ClientRuntime
+
+
+class ReadAborted(Exception):
+    """Raised inside :meth:`Scheme.read` when the attempt must abort."""
+
+    def __init__(self, reason: AbortReason, detail: str = "") -> None:
+        super().__init__(detail or reason.value)
+        self.reason = reason
+
+
+class ReadContext:
+    """Everything a scheme may touch, handed over by the client machine.
+
+    Deliberately narrow: the channel (listen only), the local cache, the
+    simulation clock.  No server handle exists, by construction.
+    """
+
+    def __init__(self, runtime: "ClientRuntime") -> None:
+        self._runtime = runtime
+
+    @property
+    def env(self):
+        return self._runtime.env
+
+    @property
+    def channel(self):
+        return self._runtime.channel
+
+    @property
+    def cache(self):
+        return self._runtime.cache
+
+    @property
+    def metrics(self):
+        return self._runtime.metrics
+
+    @property
+    def current_cycle(self) -> int:
+        return self._runtime.channel.current_cycle
+
+
+class Scheme:
+    """Base class for the read-only transaction processing protocols."""
+
+    #: Human-readable scheme name used in result tables.
+    name: str = "abstract"
+
+    def __init__(self, use_cache: bool = True) -> None:
+        self.use_cache = use_cache
+        self._ctx: Optional[ReadContext] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def requirements(self) -> BroadcastRequirements:
+        """What this scheme needs the server to broadcast."""
+        return BroadcastRequirements()
+
+    def attach(self, ctx: ReadContext) -> None:
+        """Bind the scheme to one client's runtime context."""
+        self._ctx = ctx
+
+    @property
+    def ctx(self) -> ReadContext:
+        if self._ctx is None:
+            raise RuntimeError(f"Scheme {self.name} is not attached to a client")
+        return self._ctx
+
+    @property
+    def label(self) -> str:
+        """Name qualified with the cache setting, for result tables."""
+        return f"{self.name}+cache" if self.use_cache else self.name
+
+    # -- protocol hooks -----------------------------------------------------
+
+    def on_cycle_start(self, program: BroadcastProgram) -> None:
+        """Process the control segment of a new broadcast cycle."""
+
+    def on_interim_report(self, report) -> None:
+        """A mid-cycle invalidation report arrived (§7's sub-cycle
+        extension).
+
+        ``report.cycle`` is the cycle at whose *start* the announced
+        updates become visible (the current cycle + 1): the broadcast
+        values of the current cycle are unaffected.  Default: ignore --
+        the main report at the next cycle start covers everything.
+        """
+
+    def on_missed_cycle(self, cycle: int) -> None:
+        """The client was disconnected during ``cycle`` and heard nothing.
+
+        Default: no protocol state to lose.  Schemes that depend on hearing
+        every report (invalidation-only, SGT) override this to doom their
+        active transactions (Section 5.2.2, Table 1 last row).
+        """
+
+    def begin(self, txn: ReadOnlyTransaction) -> None:
+        """A new query attempt starts."""
+
+    def read(
+        self, txn: ReadOnlyTransaction, item: int
+    ) -> Generator[object, object, ReadResult]:
+        """Simulation sub-process performing one read.
+
+        Returns the :class:`ReadResult` or raises :class:`ReadAborted`.
+        """
+        raise NotImplementedError
+
+    def finish(self, txn: ReadOnlyTransaction) -> None:
+        """Final commit-time validation; raises :class:`ReadAborted` to
+        reject.  Default: queries that survived every per-cycle check
+        commit."""
+
+    def end(self, txn: ReadOnlyTransaction) -> None:
+        """Called after the attempt terminated (committed or aborted), for
+        schemes holding per-transaction state (SGT node cleanup)."""
+
+    def state_cycle(self, txn: ReadOnlyTransaction) -> Optional[int]:
+        """The broadcast cycle whose database state a *committed* ``txn``'s
+        readset corresponds to -- the currency measure of Table 1.
+
+        ``None`` when the scheme cannot pin a single cycle (SGT serializes
+        somewhere between the first and the last operation).
+        """
+        return None
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _check_not_aborted(self, txn: ReadOnlyTransaction) -> None:
+        if txn.status is TransactionStatus.ABORTED:
+            raise ReadAborted(
+                txn.abort_reason or AbortReason.INVALIDATED,
+                f"{txn.txn_id} aborted by an invalidation report",
+            )
+
+    def _read_current(
+        self, item: int
+    ) -> Generator[object, object, Tuple[ItemRecord, int, bool]]:
+        """Shared read path for current values: cache first, else air.
+
+        Returns ``(record, read_cycle, from_cache)``.  A value read off
+        the air is inserted into the cache (demand caching).
+        """
+        ctx = self.ctx
+        if self.use_cache and ctx.cache is not None:
+            entry = ctx.cache.get_current(item, ctx.env.now)
+            if entry is not None:
+                record = ItemRecord(
+                    item=item,
+                    value=entry.value,
+                    version=entry.version,
+                    writer=entry.writer,
+                )
+                return (record, ctx.current_cycle, True)
+        record, cycle = yield from ctx.channel.await_item(item)
+        if self.use_cache and ctx.cache is not None:
+            ctx.cache.insert_current(record, ctx.env.now)
+        return (record, cycle, False)
+
+    def _result_from_record(
+        self,
+        record: ItemRecord,
+        read_cycle: int,
+        from_cache: bool,
+    ) -> ReadResult:
+        return ReadResult(
+            item=record.item,
+            value=record.value,
+            version=record.version,
+            read_cycle=read_cycle,
+            writer=record.writer,
+            from_cache=from_cache,
+        )

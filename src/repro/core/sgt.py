@@ -1,0 +1,167 @@
+"""Serialization-graph testing (Section 3.3, Theorem 3).
+
+The client maintains a local copy of the server's serialization graph,
+extended with its own active read-only transactions:
+
+* at each cycle start it integrates the broadcast graph *diff* and, for
+  every active query ``R`` invalidated by the (augmented) report, adds a
+  precedence edge ``R -> T_f`` to the *first* transaction that overwrote
+  the item during the previous cycle (Claim 2: one edge suffices);
+* every read adds a dependency edge ``T_l -> R`` from the *last* writer
+  tagged on the broadcast item (Claim 3) and is accepted only if the edge
+  closes no cycle.
+
+The scheme accepts strictly more queries than invalidation-only: a query
+whose read values happen to be mutually consistent commits even though
+items it read were updated.  The space bound of the paper's
+"Space Efficiency" paragraph is honoured by pruning every server subgraph
+older than the earliest first-invalidation cycle among active queries
+(Lemma 1 makes those unreachable from any future cycle through ``R``).
+
+The ``enhanced_disconnections`` flag implements the §5.2.2 enhancement:
+version numbers are broadcast with items, and after missing cycles a
+query may continue as long as it only reads values created before the
+gap; without the flag a missed cycle dooms every active query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.broadcast.program import BroadcastProgram
+from repro.core.base import ReadAborted, Scheme
+from repro.core.control import BroadcastRequirements
+from repro.core.transaction import (
+    AbortReason,
+    ReadOnlyTransaction,
+    ReadResult,
+)
+from repro.graph.sgraph import SerializationGraph
+
+
+class SerializationGraphTesting(Scheme):
+    """Accept a read iff it keeps the local serialization graph acyclic."""
+
+    name = "sgt"
+
+    def __init__(
+        self,
+        use_cache: bool = False,
+        enhanced_disconnections: bool = False,
+    ) -> None:
+        super().__init__(use_cache=use_cache)
+        self.enhanced_disconnections = enhanced_disconnections
+        self.graph = SerializationGraph()
+        self._active: Dict[str, ReadOnlyTransaction] = {}
+        #: First-invalidation cycle per active query (the paper's ``o``).
+        self._first_invalidation: Dict[str, int] = {}
+        #: Enhanced mode: per-query upper bound on acceptable versions,
+        #: frozen at the last cycle heard before a gap.
+        self._version_bound: Dict[str, int] = {}
+        self._last_heard: Optional[int] = None
+
+    def requirements(self) -> BroadcastRequirements:
+        return BroadcastRequirements(
+            needs_sgt=True,
+            needs_versions_on_items=self.enhanced_disconnections,
+        )
+
+    @property
+    def label(self) -> str:
+        suffix = "+cache" if self.use_cache else ""
+        enhanced = "/enhanced" if self.enhanced_disconnections else ""
+        return f"{self.name}{enhanced}{suffix}"
+
+    # -- cycle starts -----------------------------------------------------------
+
+    def on_cycle_start(self, program: BroadcastProgram) -> None:
+        control = program.control
+        if control.graph_diff is not None:
+            self.graph.apply_diff(control.graph_diff)
+
+        report = control.invalidation
+        for txn in self._active.values():
+            if not txn.is_active:
+                continue
+            for item in report.invalidates(txn.readset):
+                first_writer = report.first_writers.get(item)
+                if first_writer is None:
+                    continue
+                # Precedence edge R -> T_f; by Lemma 1 (part ii of the
+                # proof) adding it can never itself close a cycle.
+                self.graph.add_node(first_writer, cycle=first_writer.cycle)
+                self.graph.add_node(txn.txn_id)
+                self.graph.add_edge(txn.txn_id, first_writer)
+                self._first_invalidation.setdefault(txn.txn_id, report.cycle)
+
+        self._prune(program.cycle)
+        self._last_heard = program.cycle
+
+    def _prune(self, current_cycle: int) -> None:
+        """Space efficiency: only subgraphs since the earliest ``o`` of an
+        active query can participate in a future cycle through a query."""
+        if self._first_invalidation:
+            horizon = min(self._first_invalidation.values()) - 1
+        else:
+            horizon = current_cycle - 1
+        self.graph.prune_before(horizon)
+
+    def on_missed_cycle(self, cycle: int) -> None:
+        if not self.enhanced_disconnections:
+            # The graph can no longer be kept consistent: every active
+            # query dies and the stale graph is dropped; future diffs
+            # rebuild what future queries can possibly need.
+            for txn in list(self._active.values()):
+                if txn.is_active:
+                    txn.abort(AbortReason.DISCONNECTED, self.ctx.env.now, cycle)
+                    self._forget(txn)
+            self.graph = SerializationGraph()
+            return
+        # Enhanced mode: freeze each spanning query's acceptable-version
+        # bound at the last cycle it heard completely.
+        if self._last_heard is not None:
+            for txn in self._active.values():
+                if txn.is_active:
+                    bound = self._version_bound.get(txn.txn_id, self._last_heard)
+                    self._version_bound[txn.txn_id] = min(bound, self._last_heard)
+
+    # -- transaction lifecycle ------------------------------------------------------
+
+    def begin(self, txn: ReadOnlyTransaction) -> None:
+        self._active[txn.txn_id] = txn
+        self.graph.add_node(txn.txn_id)
+
+    def read(
+        self, txn: ReadOnlyTransaction, item: int
+    ) -> Generator[object, object, ReadResult]:
+        record, cycle, from_cache = yield from self._read_current(item)
+
+        bound = self._version_bound.get(txn.txn_id)
+        if bound is not None and record.version > bound:
+            raise ReadAborted(
+                AbortReason.DISCONNECTED,
+                f"{txn.txn_id}: item {item} was written during or after a "
+                f"missed cycle (version {record.version} > bound {bound})",
+            )
+
+        writer = record.writer
+        if writer is not None:
+            # Dependency edge T_l -> R (Claim 3: the last writer alone
+            # preserves all cycles).  Reject the read if it closes one.
+            self.graph.add_node(writer, cycle=writer.cycle)
+            if not self.graph.add_edge_checked(writer, txn.txn_id):
+                raise ReadAborted(
+                    AbortReason.CYCLE_DETECTED,
+                    f"{txn.txn_id}: reading item {item} from {writer} would "
+                    "close a serialization cycle",
+                )
+        return self._result_from_record(record, cycle, from_cache)
+
+    def end(self, txn: ReadOnlyTransaction) -> None:
+        self._forget(txn)
+
+    def _forget(self, txn: ReadOnlyTransaction) -> None:
+        self._active.pop(txn.txn_id, None)
+        self._first_invalidation.pop(txn.txn_id, None)
+        self._version_bound.pop(txn.txn_id, None)
+        self.graph.remove_node(txn.txn_id)

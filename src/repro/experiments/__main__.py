@@ -1,0 +1,36 @@
+"""Run the complete experiment harness: every figure and table.
+
+    python -m repro.experiments          # full profile (paper scale)
+    python -m repro.experiments --quick  # reduced profile (minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import FULL_PROFILE, QUICK_PROFILE
+from repro.experiments import fig5, fig6, fig7, fig8, retention, scalability, table1
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    profile = QUICK_PROFILE if "--quick" in args else FULL_PROFILE
+    label = "quick" if profile is QUICK_PROFILE else "full"
+    start = time.time()
+    print(f"Running every experiment at the {label} profile\n")
+
+    fig7.main()
+    fig5.main(profile)
+    fig6.main(profile)
+    fig8.main(profile)
+    table1.main(profile)
+    scalability.main(profile)
+    retention.main(profile)
+
+    print(f"All experiments done in {time.time() - start:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Figure 6: abort rate vs. the number of updates per cycle.
+
+Sweeping ``U`` from 50 to 500 (the paper's range).  Expected shape: every
+scheme's abort rate grows with server activity; the SGT advantage over
+invalidation-only shrinks as the serialization graph gets denser, and the
+versioned cache overtakes SGT once updates exceed roughly a quarter of
+the broadcast size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.render import render_sweep
+from repro.experiments.runner import (
+    ExperimentProfile,
+    FULL_PROFILE,
+    SweepResult,
+    run_point,
+)
+from repro.experiments.schemes import ABORTING_SCHEMES, scheme_factory
+
+#: Updates-per-cycle values swept (the paper's 50-500).
+UPDATE_SWEEP: Sequence[int] = (50, 125, 250, 375, 500)
+
+
+def run(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = tuple(ABORTING_SCHEMES),
+    update_sweep: Sequence[int] = UPDATE_SWEEP,
+) -> SweepResult:
+    sweep = SweepResult(
+        name="Figure 6: abort rate vs. updates per cycle",
+        x_label="updates",
+        xs=[float(u) for u in update_sweep],
+        y_label="abort rate",
+    )
+    for name in schemes:
+        factory = scheme_factory(name)
+        for updates in update_sweep:
+            point_params = params.with_server(updates_per_cycle=updates)
+            point = run_point(point_params, factory, profile, label=name)
+            sweep.add_point(name, point, point.abort_rate)
+    return sweep
+
+
+def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
+    print(render_sweep(run(profile)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Figure 7: broadcast-size increase vs. span and vs. updates (analytic).
+
+This figure is computed from the closed-form formulas of Sections
+3.1-3.3 ("using the formulas developed in the previous sections", the
+paper notes), not from simulation -- see :mod:`repro.server.sizing`.
+
+Two panels:
+
+* increase vs. the maximum transaction span ``S`` at ``U = 50``;
+* increase vs. the number of updates ``U`` at span 3 (the operating
+  point the paper's Table 1 quotes: ~1% invalidation-only, ~12%
+  multiversion, ~2.5% SGT, ~1.8% multiversion caching).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.render import render_sweep
+from repro.experiments.runner import SweepResult
+from repro.server.sizing import SizeModel
+
+SPAN_SWEEP: Sequence[int] = (2, 3, 4, 6, 8)
+UPDATE_SWEEP: Sequence[int] = (50, 125, 250, 375, 500)
+
+_SCHEMES = (
+    "invalidation_only",
+    "multiversion_clustered",
+    "multiversion_overflow",
+    "sgt",
+    "multiversion_caching",
+)
+
+
+def run_vs_span(
+    params: ModelParameters = DEFAULTS,
+    updates: int = 50,
+    span_sweep: Sequence[int] = SPAN_SWEEP,
+) -> SweepResult:
+    sweep = SweepResult(
+        name=f"Figure 7a: broadcast-size increase vs. span (U={updates})",
+        x_label="span",
+        xs=[float(s) for s in span_sweep],
+        y_label="size increase (%)",
+    )
+    for span in span_sweep:
+        model = SizeModel(params.server)
+        row = model.figure7_row(updates=updates, span=span)
+        for scheme in _SCHEMES:
+            sweep.series.setdefault(scheme, []).append(row[scheme])
+    return sweep
+
+
+def run_vs_updates(
+    params: ModelParameters = DEFAULTS,
+    span: int = 3,
+    update_sweep: Sequence[int] = UPDATE_SWEEP,
+) -> SweepResult:
+    sweep = SweepResult(
+        name=f"Figure 7b: broadcast-size increase vs. updates (span={span})",
+        x_label="updates",
+        xs=[float(u) for u in update_sweep],
+        y_label="size increase (%)",
+    )
+    for updates in update_sweep:
+        server = params.server
+        model = SizeModel(server)
+        row = model.figure7_row(updates=updates, span=span)
+        for scheme in _SCHEMES:
+            sweep.series.setdefault(scheme, []).append(row[scheme])
+    return sweep
+
+
+def main() -> None:
+    print(render_sweep(run_vs_span(), precision=2))
+    print(render_sweep(run_vs_updates(), precision=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Figure 8: latency of committed queries, in broadcast cycles.
+
+Left panel: latency vs. operations per query.  Expected: latency grows
+roughly with half a cycle per (uncached) read; multiversion-overflow pays
+extra because old-version reads wait for the end of the bcast; caching
+cuts latency sharply.  (As the paper notes, measured values deviate from
+the naive ops/2 expectation because only *accepted* transactions are
+counted.)
+
+Right panel: multiversion (overflow organization) latency vs. the offset.
+With small overlap fewer reads need an old version, so the latency
+penalty shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.fig5 import OFFSET_SWEEP, OPS_SWEEP, _retention_for
+from repro.experiments.render import render_sweep
+from repro.experiments.runner import (
+    ExperimentProfile,
+    FULL_PROFILE,
+    SweepResult,
+    run_point,
+)
+from repro.experiments.schemes import LATENCY_SCHEMES, scheme_factory
+
+
+def run_left(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = tuple(LATENCY_SCHEMES),
+    ops_sweep: Sequence[int] = OPS_SWEEP,
+) -> SweepResult:
+    sweep = SweepResult(
+        name="Figure 8 (left): latency vs. operations per query",
+        x_label="ops/query",
+        xs=[float(x) for x in ops_sweep],
+        y_label="latency (cycles)",
+    )
+    for name in schemes:
+        factory = scheme_factory(name)
+        for ops in ops_sweep:
+            point_params = params.with_client(ops_per_query=ops).with_server(
+                retention=_retention_for(ops)
+            )
+            point = run_point(point_params, factory, profile, label=name)
+            sweep.add_point(name, point, point.mean_latency_cycles)
+    return sweep
+
+
+def run_right(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    offset_sweep: Sequence[int] = OFFSET_SWEEP,
+) -> SweepResult:
+    sweep = SweepResult(
+        name="Figure 8 (right): multiversion latency vs. offset",
+        x_label="offset",
+        xs=[float(x) for x in offset_sweep],
+        y_label="latency (cycles)",
+    )
+    for name in ("multiversion", "multiversion+cache"):
+        factory = scheme_factory(name)
+        for offset in offset_sweep:
+            point_params = params.with_server(offset=offset)
+            point = run_point(point_params, factory, profile, label=name)
+            sweep.add_point(name, point, point.mean_latency_cycles)
+    return sweep
+
+
+def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
+    print(render_sweep(run_left(profile), precision=2))
+    print(render_sweep(run_right(profile), precision=2))
+
+
+if __name__ == "__main__":
+    main()

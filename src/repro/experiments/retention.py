@@ -1,0 +1,58 @@
+"""V-multiversion ablation (Section 3.2).
+
+A ``V``-multiversion server broadcasts only ``V`` old versions -- fewer
+than the maximum transaction span ``S`` -- so long transactions "proceed
+on their own risk".  This sweep measures the risk: abort rate and the
+broadcast-size cost as ``V`` grows from 1 to past the typical span,
+quantifying the bandwidth/concurrency dial the paper describes ("V can
+be adapted depending on ... the allowable bandwidth, feedback from
+clients, or update rate at the server").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.render import render_sweep
+from repro.experiments.runner import (
+    ExperimentProfile,
+    FULL_PROFILE,
+    SweepResult,
+    run_point,
+)
+from repro.experiments.schemes import scheme_factory
+
+RETENTION_SWEEP: Sequence[int] = (1, 2, 4, 8, 16, 24)
+
+
+def run(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    retention_sweep: Sequence[int] = RETENTION_SWEEP,
+) -> SweepResult:
+    sweep = SweepResult(
+        name="V-multiversion: abort rate and bcast cost vs. retained versions",
+        x_label="V",
+        xs=[float(v) for v in retention_sweep],
+        y_label="abort rate / slots per cycle",
+    )
+    factory = scheme_factory("multiversion")
+    for retention in retention_sweep:
+        point = run_point(
+            params.with_server(retention=retention),
+            factory,
+            profile,
+            label=f"V={retention}",
+        )
+        sweep.add_point("abort_rate", point, point.abort_rate)
+        sweep.add_point("slots_per_cycle", point, point.mean_cycle_slots)
+    return sweep
+
+
+def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
+    print(render_sweep(run(profile), precision=3))
+
+
+if __name__ == "__main__":
+    main()

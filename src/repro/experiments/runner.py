@@ -1,0 +1,168 @@
+"""Multi-seed experiment execution and result aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import ModelParameters
+from repro.core.base import Scheme
+from repro.runtime import Simulation, SimulationResult
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """How much simulation to spend per data point."""
+
+    num_cycles: int
+    warmup_cycles: int
+    num_clients: int
+    seeds: Sequence[int]
+
+    def apply(self, params: ModelParameters, seed: int) -> ModelParameters:
+        return params.with_sim(
+            num_cycles=self.num_cycles,
+            warmup_cycles=self.warmup_cycles,
+            num_clients=self.num_clients,
+            seed=seed,
+        )
+
+
+#: Paper-scale runs: enough committed queries per point for stable rates.
+FULL_PROFILE = ExperimentProfile(
+    num_cycles=150, warmup_cycles=10, num_clients=10, seeds=(11, 23)
+)
+
+#: Scaled-down runs for benchmarks and smoke tests.
+QUICK_PROFILE = ExperimentProfile(
+    num_cycles=50, warmup_cycles=5, num_clients=4, seeds=(11,)
+)
+
+
+@dataclass
+class PointResult:
+    """One (scheme, x-value) data point merged over seeds."""
+
+    scheme: str
+    committed: int = 0
+    attempts: int = 0
+    latency_sum: float = 0.0
+    latency_n: int = 0
+    span_sum: float = 0.0
+    span_n: int = 0
+    currency_sum: float = 0.0
+    currency_n: int = 0
+    slots_sum: float = 0.0
+    slots_n: int = 0
+    queries_completed: int = 0
+    queries_total: int = 0
+
+    def fold(self, result: SimulationResult) -> None:
+        ratio = result.metrics.get_ratio("attempt.committed")
+        if ratio is not None:
+            self.committed += ratio.hits
+            self.attempts += ratio.total
+        completed = result.metrics.get_ratio("query.completed")
+        if completed is not None:
+            self.queries_completed += completed.hits
+            self.queries_total += completed.total
+        for name, attr in (
+            ("txn.latency_cycles", "latency"),
+            ("txn.span", "span"),
+            ("txn.currency_lag", "currency"),
+        ):
+            sampler = result.metrics.get_sampler(name)
+            if sampler is not None and sampler.count:
+                setattr(
+                    self,
+                    f"{attr}_sum",
+                    getattr(self, f"{attr}_sum") + sampler.mean * sampler.count,
+                )
+                setattr(self, f"{attr}_n", getattr(self, f"{attr}_n") + sampler.count)
+        self.slots_sum += result.mean_cycle_slots
+        self.slots_n += 1
+
+    # -- derived measures ---------------------------------------------------
+
+    @property
+    def abort_rate(self) -> float:
+        if self.attempts == 0:
+            return float("nan")
+        return 1.0 - self.committed / self.attempts
+
+    @property
+    def acceptance_rate(self) -> float:
+        return 1.0 - self.abort_rate
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        return self.latency_sum / self.latency_n if self.latency_n else float("nan")
+
+    @property
+    def mean_span(self) -> float:
+        return self.span_sum / self.span_n if self.span_n else float("nan")
+
+    @property
+    def mean_currency_lag(self) -> float:
+        return (
+            self.currency_sum / self.currency_n if self.currency_n else float("nan")
+        )
+
+    @property
+    def mean_cycle_slots(self) -> float:
+        return self.slots_sum / self.slots_n if self.slots_n else float("nan")
+
+    @property
+    def query_completion_rate(self) -> float:
+        if self.queries_total == 0:
+            return float("nan")
+        return self.queries_completed / self.queries_total
+
+
+def run_point(
+    params: ModelParameters,
+    factory: Callable[[], Scheme],
+    profile: ExperimentProfile,
+    label: str = "",
+    **simulation_kwargs,
+) -> PointResult:
+    """Run one configuration once per seed and merge the outcomes."""
+    point = PointResult(scheme=label or factory().label)
+    for seed in profile.seeds:
+        sim = Simulation(
+            profile.apply(params, seed), scheme_factory=factory, **simulation_kwargs
+        )
+        point.fold(sim.run())
+    return point
+
+
+@dataclass
+class SweepResult:
+    """A family of series over one swept parameter (one figure panel)."""
+
+    name: str
+    x_label: str
+    xs: List[float]
+    y_label: str
+    #: series label -> y value per x (NaN for missing points).
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    #: series label -> PointResult per x, for deeper inspection.
+    points: Dict[str, List[PointResult]] = field(default_factory=dict)
+
+    def add_point(self, series: str, point: PointResult, y: float) -> None:
+        self.series.setdefault(series, []).append(y)
+        self.points.setdefault(series, []).append(point)
+
+    def y(self, series: str, x: float) -> float:
+        return self.series[series][self.xs.index(x)]
+
+    def monotone_increasing(self, series: str, tolerance: float = 0.0) -> bool:
+        """Shape check helper: is the series non-decreasing (within
+        ``tolerance`` of absolute slack per step)?"""
+        ys = [v for v in self.series[series] if not math.isnan(v)]
+        return all(b >= a - tolerance for a, b in zip(ys, ys[1:]))
+
+    def monotone_decreasing(self, series: str, tolerance: float = 0.0) -> bool:
+        ys = [v for v in self.series[series] if not math.isnan(v)]
+        return all(b <= a + tolerance for a, b in zip(ys, ys[1:]))

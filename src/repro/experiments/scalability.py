@@ -1,0 +1,58 @@
+"""The scalability claim: client performance independent of client count.
+
+All protocols are client-local -- no backchannel exists -- so the abort
+rate and latency a client observes must not depend on how many other
+clients listen to the same broadcast.  This experiment sweeps the number
+of concurrent clients and reports per-client quality metrics, which
+should stay flat (up to sampling noise).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.render import render_sweep
+from repro.experiments.runner import (
+    ExperimentProfile,
+    FULL_PROFILE,
+    SweepResult,
+    run_point,
+)
+from repro.experiments.schemes import scheme_factory
+
+CLIENT_SWEEP: Sequence[int] = (1, 2, 4, 8, 16, 32)
+
+
+def run(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    scheme: str = "sgt+cache",
+    client_sweep: Sequence[int] = CLIENT_SWEEP,
+) -> SweepResult:
+    sweep = SweepResult(
+        name=f"Scalability: per-client quality vs. client count ({scheme})",
+        x_label="clients",
+        xs=[float(n) for n in client_sweep],
+        y_label="abort rate / latency",
+    )
+    factory = scheme_factory(scheme)
+    for clients in client_sweep:
+        point_profile = ExperimentProfile(
+            num_cycles=profile.num_cycles,
+            warmup_cycles=profile.warmup_cycles,
+            num_clients=clients,
+            seeds=profile.seeds,
+        )
+        point = run_point(params, factory, point_profile, label=scheme)
+        sweep.add_point("abort_rate", point, point.abort_rate)
+        sweep.add_point("latency_cycles", point, point.mean_latency_cycles)
+    return sweep
+
+
+def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
+    print(render_sweep(run(profile), precision=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The scheme line-up used across the figures.
+
+The paper's plots compare: invalidation-only (with and without a plain
+cache), invalidation-only with versioned cache, SGT (with and without a
+cache), multiversion broadcast, and multiversion caching.  This module
+is the single place mapping series labels to scheme factories so every
+figure uses consistent naming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.base import Scheme
+from repro.core.invalidation import InvalidationOnly
+from repro.core.multiversion import MultiversionBroadcast
+from repro.core.multiversion_cache import MultiversionCaching
+from repro.core.sgt import SerializationGraphTesting
+from repro.core.versioned_cache import InvalidationWithVersionedCache
+
+SchemeFactory = Callable[[], Scheme]
+
+SCHEME_FACTORIES: Dict[str, SchemeFactory] = {
+    "inval": lambda: InvalidationOnly(use_cache=False),
+    "inval+cache": lambda: InvalidationOnly(use_cache=True),
+    "versioned-cache": lambda: InvalidationWithVersionedCache(),
+    "sgt": lambda: SerializationGraphTesting(use_cache=False),
+    "sgt+cache": lambda: SerializationGraphTesting(use_cache=True),
+    "multiversion": lambda: MultiversionBroadcast(organization="overflow"),
+    "multiversion+cache": lambda: MultiversionBroadcast(
+        organization="overflow", use_cache=True
+    ),
+    "multiversion/clustered": lambda: MultiversionBroadcast(
+        organization="clustered"
+    ),
+    "mv-caching": lambda: MultiversionCaching(),
+}
+
+#: The aborting schemes compared in Figures 5 and 6 (multiversion accepts
+#: every transaction by construction, so its abort curve is identically 0).
+ABORTING_SCHEMES: List[str] = [
+    "inval",
+    "inval+cache",
+    "versioned-cache",
+    "sgt",
+    "sgt+cache",
+    "mv-caching",
+]
+
+#: Schemes whose latency Figure 8 (left) contrasts.
+LATENCY_SCHEMES: List[str] = [
+    "inval",
+    "inval+cache",
+    "versioned-cache",
+    "sgt+cache",
+    "multiversion",
+]
+
+
+def scheme_factory(name: str) -> SchemeFactory:
+    """Look up a factory by series label."""
+    try:
+        return SCHEME_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEME_FACTORIES))
+        raise KeyError(f"Unknown scheme {name!r}; known: {known}") from None

@@ -1,0 +1,66 @@
+"""Selective tuning study: access vs. tuning time under (1, m) indexing.
+
+Section 2.1 background made quantitative: the clients of the paper's
+model must either listen continuously (huge tuning time = battery drain)
+or use air indexing.  This sweep reports, for the default 100-data-bucket
+broadcast, the mean access time (latency) and tuning time (energy) as
+the index replication ``m`` grows, bracketed by the no-index baseline and
+highlighting the classic ``m* = sqrt(D / i)`` optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.broadcast.indexing import OneMIndex, no_index_costs
+from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.render import render_sweep
+from repro.experiments.runner import SweepResult
+
+M_SWEEP: Sequence[int] = (1, 2, 3, 4, 6, 10)
+
+
+def run(
+    params: ModelParameters = DEFAULTS,
+    m_sweep: Sequence[int] = M_SWEEP,
+    fanout: int = 10,
+) -> SweepResult:
+    data_buckets = params.server.data_buckets
+    sweep = SweepResult(
+        name=f"(1, m) air indexing over {data_buckets} data buckets",
+        x_label="m",
+        xs=[float(m) for m in m_sweep],
+        y_label="buckets",
+    )
+    base_access, base_tuning = no_index_costs(data_buckets)
+    for m in m_sweep:
+        index = OneMIndex(
+            data_buckets=data_buckets,
+            items_per_bucket=params.server.items_per_bucket,
+            fanout=fanout,
+            replication=m,
+        )
+        access, tuning = index.mean_costs(samples=60)
+        sweep.series.setdefault("access_time", []).append(access)
+        sweep.series.setdefault("tuning_time", []).append(tuning)
+        sweep.series.setdefault("no_index_access", []).append(base_access)
+        sweep.series.setdefault("no_index_tuning", []).append(base_tuning)
+    return sweep
+
+
+def main() -> None:
+    sweep = run()
+    print(render_sweep(sweep, precision=1))
+    index = OneMIndex(
+        data_buckets=DEFAULTS.server.data_buckets,
+        items_per_bucket=DEFAULTS.server.items_per_bucket,
+        fanout=10,
+    )
+    best = OneMIndex.optimal_replication(
+        DEFAULTS.server.data_buckets, index.index_buckets
+    )
+    print(f"access-optimal replication m* = {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,261 @@
+"""Top-level simulation wiring: one server, one channel, many clients.
+
+This is the main entry point of the library:
+
+>>> from repro import ModelParameters, Simulation
+>>> from repro.core import InvalidationOnly
+>>> params = ModelParameters().with_sim(num_cycles=30, warmup_cycles=5)
+>>> sim = Simulation(params, scheme_factory=lambda: InvalidationOnly())
+>>> result = sim.run()
+>>> 0.0 <= result.abort_rate <= 1.0
+True
+
+The server process loops forever: build the cycle's program, put it on
+the air, transmit it slot by slot, commit the cycle's update transactions
+(visible next cycle), repeat.  Clients are pure listeners; the scalability
+claim of the paper holds *by construction* -- there is no code path from
+a client to the server.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.broadcast.channel import BroadcastChannel
+from repro.broadcast.schedule import Schedule
+from repro.client.disconnect import DisconnectionModel
+from repro.client.machine import BroadcastClient
+from repro.config import ModelParameters
+from repro.core.base import Scheme
+from repro.core.control import (
+    BroadcastRequirements,
+    InvalidationReport,
+    ReportSchedule,
+)
+from repro.server.broadcast import ProgramBuilder
+from repro.server.database import Database
+from repro.server.transactions import TransactionEngine, merge_outcomes
+from repro.server.versions import VersionStore
+from repro.sim.engine import Environment
+from repro.stats.metrics import MetricsRegistry
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one run."""
+
+    params: ModelParameters
+    scheme_label: str
+    metrics: MetricsRegistry
+    cycles_completed: int
+    #: Mean broadcast length in slots over the run (sizing consequence).
+    mean_cycle_slots: float
+    clients: List[BroadcastClient] = field(default_factory=list)
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of attempts that aborted (Figures 5 and 6)."""
+        ratio = self.metrics.get_ratio("attempt.committed")
+        if ratio is None or ratio.total == 0:
+            return 0.0
+        return ratio.complement
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of attempts accepted (the paper's "concurrency")."""
+        return 1.0 - self.abort_rate
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        """Mean cycles per *committed* transaction (Figure 8)."""
+        sampler = self.metrics.get_sampler("txn.latency_cycles")
+        if sampler is None or sampler.count == 0:
+            return float("nan")
+        return sampler.mean
+
+    @property
+    def mean_span(self) -> float:
+        sampler = self.metrics.get_sampler("txn.span")
+        if sampler is None or sampler.count == 0:
+            return float("nan")
+        return sampler.mean
+
+    @property
+    def committed_attempts(self) -> int:
+        ratio = self.metrics.get_ratio("attempt.committed")
+        return ratio.hits if ratio else 0
+
+    @property
+    def total_attempts(self) -> int:
+        ratio = self.metrics.get_ratio("attempt.committed")
+        return ratio.total if ratio else 0
+
+    def abort_count(self, reason: str) -> int:
+        counter = self.metrics.get_counter(f"abort.{reason}")
+        return counter.value if counter else 0
+
+
+class Simulation:
+    """Builds and runs one complete broadcast-push simulation."""
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        scheme_factory: Callable[[], Scheme],
+        schedule: Optional[Schedule] = None,
+        disconnect_factory: Optional[Callable[[random.Random], DisconnectionModel]] = None,
+        keep_history: bool = False,
+        report_schedule: Optional[ReportSchedule] = None,
+        interleaved_server: bool = False,
+    ) -> None:
+        params.validate()
+        self.params = params
+        self.report_schedule = report_schedule or ReportSchedule()
+        self.env = Environment()
+        self.metrics = MetricsRegistry()
+        self._rng = random.Random(params.sim.seed)
+
+        # -- server substrate ------------------------------------------------
+        self.database = Database(params.server.broadcast_size)
+
+        # Instantiate one scheme per client and merge their requirements.
+        self.schemes: List[Scheme] = [
+            scheme_factory() for _ in range(params.sim.num_clients)
+        ]
+        requirements = BroadcastRequirements(
+            report_window=self.report_schedule.window
+        )
+        for scheme in self.schemes:
+            requirements = requirements.merge(scheme.requirements())
+
+        self.version_store: Optional[VersionStore] = None
+        if requirements.needs_old_versions:
+            self.version_store = VersionStore(
+                self.database, retention=params.server.retention
+            )
+
+        self.engine = TransactionEngine(
+            params.server,
+            self.database,
+            version_store=self.version_store,
+            rng=random.Random(self._rng.getrandbits(64)),
+            keep_history=keep_history,
+            interleaved=interleaved_server,
+        )
+        self.builder = ProgramBuilder(
+            params.server,
+            self.database,
+            version_store=self.version_store,
+            schedule=schedule,
+            requirements=requirements,
+        )
+
+        # -- air interface and clients ------------------------------------------
+        self.channel = BroadcastChannel(self.env)
+        self.clients: List[BroadcastClient] = []
+        for client_id, scheme in enumerate(self.schemes):
+            disconnect = None
+            if disconnect_factory is not None:
+                disconnect = disconnect_factory(
+                    random.Random(self._rng.getrandbits(64))
+                )
+            self.clients.append(
+                BroadcastClient(
+                    env=self.env,
+                    channel=self.channel,
+                    scheme=scheme,
+                    params=params.client,
+                    metrics=self.metrics,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                    disconnect=disconnect,
+                    client_id=client_id,
+                    warmup_cycles=params.sim.warmup_cycles,
+                )
+            )
+
+        self._cycles_completed = 0
+        self._total_slots = 0
+        self._stop = self.env.event()
+        self.env.process(self._server_process())
+
+    # -- the server loop ----------------------------------------------------------
+
+    def _server_process(self):
+        cycle = 1
+        outcome = None
+        while cycle <= self.params.sim.num_cycles:
+            program = self.builder.build(cycle, outcome)
+            self.metrics.observe("broadcast.slots", program.total_slots)
+            self.metrics.observe("broadcast.control_slots", program.control_slots)
+            self.metrics.observe(
+                "broadcast.overflow_slots", len(program.overflow_buckets)
+            )
+            self.channel.begin_cycle(program)
+            # Transactions logically commit *during* the cycle that just
+            # aired; their values go out with the next cycle's snapshot.
+            # With sub-cycle reports (§7) the commits are spread over the
+            # report intervals and announced as they happen.
+            intervals = self.report_schedule.per_cycle
+            if intervals == 1:
+                yield self.env.timeout(program.total_slots)
+                outcome = self.engine.run_cycle(cycle)
+            else:
+                outcome = yield from self._run_cycle_in_intervals(
+                    cycle, program, intervals
+                )
+            # Keep the server graph bounded like the clients' (Lemma 1).
+            retention = max(self.params.server.retention, 2)
+            self.engine.prune_graph_before(cycle - 4 * retention)
+            self._cycles_completed = cycle
+            self._total_slots += program.total_slots
+            cycle += 1
+        self._stop.succeed()
+
+    def _run_cycle_in_intervals(self, cycle, program, intervals):
+        """One cycle with sub-cycle invalidation reports (§7).
+
+        The cycle's server transactions commit in ``intervals`` batches at
+        the interval boundaries; each batch's updates (except the last,
+        which coincides with the next main report) are announced
+        immediately as an interim report tagged with the cycle at whose
+        start they become visible.
+        """
+        total = self.params.server.transactions_per_cycle
+        bounds = [round(i * total / intervals) for i in range(intervals + 1)]
+        h = program.total_slots / intervals
+        parts = []
+        for j in range(intervals):
+            yield self.env.timeout(h)
+            part = self.engine.run_batch(cycle, range(bounds[j], bounds[j + 1]))
+            parts.append(part)
+            if j < intervals - 1 and part.updated_items:
+                self.metrics.count("broadcast.interim_reports")
+                self.channel.publish_interim_report(
+                    InvalidationReport(
+                        cycle=cycle + 1, updated_items=part.updated_items
+                    )
+                )
+        outcome = merge_outcomes(parts)
+        self.engine.record_outcome(outcome)
+        return outcome
+
+    # -- running ----------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to the configured number of cycles and aggregate results."""
+        self.env.run(until=self._stop)
+        mean_slots = (
+            self._total_slots / self._cycles_completed
+            if self._cycles_completed
+            else 0.0
+        )
+        return SimulationResult(
+            params=self.params,
+            scheme_label=self.schemes[0].label if self.schemes else "none",
+            metrics=self.metrics,
+            cycles_completed=self._cycles_completed,
+            mean_cycle_slots=mean_slots,
+            clients=self.clients,
+        )

@@ -1,0 +1,275 @@
+"""Assembling each cycle's broadcast program.
+
+The builder turns the server's state (database snapshot, retained old
+versions, the previous cycle's commit outcome) into the physical
+:class:`~repro.broadcast.program.BroadcastProgram` the channel transmits,
+honouring the merged :class:`~repro.core.control.BroadcastRequirements`
+of the attached clients and charging every segment its wire size so the
+latency results reflect the size results.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.broadcast.program import (
+    BroadcastProgram,
+    Bucket,
+    ItemRecord,
+    MultiversionOrganization,
+    OldVersionRecord,
+)
+from repro.broadcast.schedule import FlatSchedule, Schedule
+from repro.config import ServerParameters
+from repro.core.control import (
+    BroadcastRequirements,
+    ControlInfo,
+    InvalidationReport,
+)
+from repro.graph.sgraph import GraphDiff
+from repro.server.database import Database
+from repro.server.sizing import SizeModel
+from repro.server.transactions import CycleOutcome
+from repro.server.versions import VersionStore
+
+
+def bucket_of_item(item: int, items_per_bucket: int) -> int:
+    """Logical page number of ``item`` in the flat layout (cache grain)."""
+    return (item - 1) // items_per_bucket
+
+
+class ProgramBuilder:
+    """Builds one :class:`BroadcastProgram` per cycle."""
+
+    def __init__(
+        self,
+        params: ServerParameters,
+        database: Database,
+        version_store: Optional[VersionStore] = None,
+        schedule: Optional[Schedule] = None,
+        requirements: Optional[BroadcastRequirements] = None,
+        bits_per_unit: int = 32,
+    ) -> None:
+        self.params = params
+        self.database = database
+        self.version_store = version_store
+        self.schedule = schedule or FlatSchedule(params.broadcast_size)
+        self.requirements = requirements or BroadcastRequirements()
+        self.size_model = SizeModel(params, bits_per_unit=bits_per_unit)
+        self._recent_reports: Deque[InvalidationReport] = deque(
+            maxlen=max(1, self.requirements.report_window)
+        )
+
+        if self.requirements.needs_old_versions and self.version_store is None:
+            raise ValueError(
+                "Old versions requested but no VersionStore supplied"
+            )
+
+    # -- control segment -----------------------------------------------------
+
+    def _build_report(
+        self, cycle: int, outcome: Optional[CycleOutcome]
+    ) -> InvalidationReport:
+        if outcome is None:
+            return InvalidationReport(cycle=cycle)
+        buckets = frozenset(
+            bucket_of_item(item, self.params.items_per_bucket)
+            for item in outcome.updated_items
+        )
+        first_writers = dict(outcome.first_writers) if self.requirements.needs_sgt else {}
+        return InvalidationReport(
+            cycle=cycle,
+            updated_items=outcome.updated_items,
+            first_writers=first_writers,
+            updated_buckets=buckets,
+        )
+
+    def _control_units(self, report: InvalidationReport, diff: Optional[GraphDiff]) -> int:
+        p = self.params
+        units = len(report.updated_items) * p.key_size
+        if self.requirements.needs_sgt and diff is not None:
+            span = self.version_store.retention if self.version_store else 8
+            edge_bits = (
+                self.size_model.tid_bits()
+                + self.size_model.tid_with_cycle_bits(max(2, span))
+            )
+            units += math.ceil(
+                diff.edge_count * edge_bits / self.size_model.bits_per_unit
+            )
+            units += len(report.first_writers) * p.key_size
+        for windowed in self._recent_reports:
+            units += len(windowed.updated_items) * p.key_size
+        return max(1, units)
+
+    # -- data segment -----------------------------------------------------------
+
+    def _item_record(self, item: int, cycle: int) -> ItemRecord:
+        version = self.database.value_at(item, cycle)
+        has_old = bool(
+            self.version_store is not None
+            and self.requirements.needs_old_versions
+            and self.version_store.on_air(item)
+        )
+        return ItemRecord(
+            item=item,
+            value=version.value,
+            version=version.cycle,
+            writer=version.writer,
+            has_old_versions=has_old,
+        )
+
+    def _old_records(self) -> List[OldVersionRecord]:
+        """All retained versions, newest supersedure first (Figure 2(b))."""
+        assert self.version_store is not None
+        records: List[Tuple[int, OldVersionRecord]] = []
+        for item, retained in self.version_store.all_on_air().items():
+            for rv in retained:
+                records.append(
+                    (
+                        rv.superseded_at,
+                        OldVersionRecord(
+                            item=item,
+                            value=rv.version.value,
+                            version=rv.version.cycle,
+                            valid_to=rv.valid_to,
+                            writer=rv.version.writer,
+                        ),
+                    )
+                )
+        records.sort(key=lambda pair: (-pair[0], pair[1].item))
+        return [record for _, record in records]
+
+    # -- assembly ---------------------------------------------------------------
+
+    def build(self, cycle: int, outcome: Optional[CycleOutcome]) -> BroadcastProgram:
+        """Build the program for broadcast cycle ``cycle``.
+
+        ``outcome`` is the commit outcome of cycle ``cycle - 1`` (None for
+        the very first cycle): its updates are what the invalidation
+        report announces and its values are what this cycle's snapshot
+        carries.
+        """
+        p = self.params
+        report = self._build_report(cycle, outcome)
+        diff = outcome.diff if (outcome and self.requirements.needs_sgt) else None
+
+        control = ControlInfo(
+            cycle=cycle,
+            invalidation=report,
+            graph_diff=diff,
+            window=tuple(self._recent_reports),
+            size_units=0,  # replaced below once computed
+        )
+        control_units = self._control_units(report, diff)
+        control = ControlInfo(
+            cycle=cycle,
+            invalidation=report,
+            graph_diff=diff,
+            window=tuple(self._recent_reports),
+            size_units=control_units,
+        )
+        control_slots = max(1, math.ceil(control_units / p.bucket_size))
+
+        organization = MultiversionOrganization.NONE
+        index_slots = 0
+        overflow_buckets: List[Bucket] = []
+        order = self.schedule.item_order()
+
+        if self.requirements.needs_old_versions:
+            organization = (
+                MultiversionOrganization.CLUSTERED
+                if self.requirements.organization == "clustered"
+                else MultiversionOrganization.OVERFLOW
+            )
+
+        if organization is MultiversionOrganization.CLUSTERED:
+            data_buckets = self._clustered_data_buckets(order, cycle)
+            # Item positions shift, so a directory segment rides along.
+            span = self.version_store.retention if self.version_store else 1
+            index_units = self.size_model.multiversion_clustered(
+                len(report.updated_items), max(1, span)
+            ).index_units
+            index_slots = max(1, math.ceil(index_units / p.bucket_size))
+        else:
+            data_buckets = self._flat_data_buckets(order, cycle)
+            if organization is MultiversionOrganization.OVERFLOW:
+                overflow_buckets = self._overflow_buckets()
+
+        self._recent_reports.append(report)
+
+        return BroadcastProgram(
+            cycle=cycle,
+            control=control,
+            data_buckets=data_buckets,
+            overflow_buckets=overflow_buckets,
+            control_slots=control_slots,
+            index_slots=index_slots,
+            organization=organization,
+        )
+
+    def _flat_data_buckets(self, order: List[int], cycle: int) -> List[Bucket]:
+        per_bucket = self.params.items_per_bucket
+        buckets: List[Bucket] = []
+        for index, start in enumerate(range(0, len(order), per_bucket)):
+            chunk = order[start : start + per_bucket]
+            records = tuple(self._item_record(item, cycle) for item in chunk)
+            buckets.append(Bucket(index=index, records=records))
+        return buckets
+
+    def _clustered_data_buckets(self, order: List[int], cycle: int) -> List[Bucket]:
+        """Figure 2(a): each item immediately followed by its old versions.
+
+        Buckets are filled greedily by record count; current and old
+        records share bucket capacity, so positions drift between cycles.
+        """
+        assert self.version_store is not None
+        per_bucket = self.params.items_per_bucket
+        buckets: List[Bucket] = []
+        cur_records: List[ItemRecord] = []
+        cur_old: List[OldVersionRecord] = []
+        used = 0
+
+        def flush() -> None:
+            nonlocal cur_records, cur_old, used
+            if cur_records or cur_old:
+                buckets.append(
+                    Bucket(
+                        index=len(buckets),
+                        records=tuple(cur_records),
+                        old_records=tuple(cur_old),
+                    )
+                )
+            cur_records, cur_old, used = [], [], 0
+
+        for item in order:
+            olds = [
+                OldVersionRecord(
+                    item=item,
+                    value=rv.version.value,
+                    version=rv.version.cycle,
+                    valid_to=rv.valid_to,
+                    writer=rv.version.writer,
+                )
+                for rv in reversed(self.version_store.on_air(item))
+            ]
+            needed = 1 + len(olds)
+            if used and used + needed > per_bucket:
+                flush()
+            cur_records.append(self._item_record(item, cycle))
+            cur_old.extend(olds)
+            used += needed
+            if used >= per_bucket:
+                flush()
+        flush()
+        return buckets
+
+    def _overflow_buckets(self) -> List[Bucket]:
+        per_bucket = self.params.items_per_bucket
+        old_records = self._old_records()
+        buckets: List[Bucket] = []
+        for index, start in enumerate(range(0, len(old_records), per_bucket)):
+            chunk = tuple(old_records[start : start + per_bucket])
+            buckets.append(Bucket(index=index, old_records=chunk))
+        return buckets

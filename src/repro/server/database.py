@@ -1,0 +1,138 @@
+"""The server's versioned database.
+
+The paper's model (Section 2.2): a database is a finite set of items; the
+values broadcast during cycle ``c`` correspond to the state at the
+*beginning* of ``c`` -- i.e. the values produced by all transactions
+committed before the cycle started.  We realize this by stamping each
+write with the broadcast cycle at whose beginning it becomes visible, and
+by answering snapshot queries "value of item ``x`` as of cycle ``c``".
+
+Values are opaque integers here (a write counter), which is all the
+consistency protocols ever compare; the sizing model accounts for the
+``d`` payload units separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.graph.sgraph import TxnId
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed value of one item.
+
+    Attributes
+    ----------
+    item:
+        The item (key) this value belongs to.
+    cycle:
+        The broadcast cycle at whose beginning this value became current
+        (commit cycle + 1): the paper's "version number".
+    value:
+        Opaque payload; monotonically increasing per item in this model.
+    writer:
+        The server transaction that produced the value (``None`` for the
+        initial load), needed by the SGT method's last-writer tags.
+    """
+
+    item: int
+    cycle: int
+    value: int
+    writer: Optional[TxnId]
+
+
+class Database:
+    """Versioned key-value store over items ``1 .. size``.
+
+    Keeps the full version chain per item so that tests can check any
+    protocol's readset against the exact historical snapshot it claims to
+    represent.  Memory is bounded by total updates in a run, which is fine
+    at simulation scale; a production store would truncate below the
+    multiversion retention horizon.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"Database size must be positive, got {size}")
+        self._size = size
+        #: item -> list of versions in increasing cycle order.
+        self._chains: Dict[int, List[Version]] = {
+            item: [Version(item=item, cycle=0, value=0, writer=None)]
+            for item in range(1, size + 1)
+        }
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def items(self) -> Iterable[int]:
+        return range(1, self._size + 1)
+
+    def _chain(self, item: int) -> List[Version]:
+        chain = self._chains.get(item)
+        if chain is None:
+            raise KeyError(f"Item {item} outside database range 1..{self._size}")
+        return chain
+
+    # -- writes -----------------------------------------------------------
+
+    def write(self, item: int, visible_cycle: int, writer: TxnId) -> Version:
+        """Record a committed write becoming visible at ``visible_cycle``.
+
+        Several transactions may write the same item during one cycle; each
+        write appends a version with the same ``cycle`` stamp, and the last
+        one is the value actually broadcast.  Monotonicity of the stamp is
+        enforced.
+        """
+        chain = self._chain(item)
+        if visible_cycle < chain[-1].cycle:
+            raise ValueError(
+                f"Write to item {item} at cycle {visible_cycle} is older than "
+                f"latest version (cycle {chain[-1].cycle})"
+            )
+        version = Version(
+            item=item,
+            cycle=visible_cycle,
+            value=chain[-1].value + 1,
+            writer=writer,
+        )
+        chain.append(version)
+        return version
+
+    # -- reads ------------------------------------------------------------
+
+    def current(self, item: int) -> Version:
+        """Latest committed version of ``item``."""
+        return self._chain(item)[-1]
+
+    def value_at(self, item: int, cycle: int) -> Version:
+        """The version of ``item`` in the state broadcast at ``cycle``.
+
+        That is: the last version whose visibility stamp is ``<= cycle``.
+        """
+        best: Optional[Version] = None
+        for version in self._chain(item):
+            if version.cycle <= cycle:
+                best = version
+            else:
+                break
+        if best is None:
+            raise ValueError(
+                f"Item {item} has no version visible at or before cycle {cycle}"
+            )
+        return best
+
+    def snapshot(self, cycle: int) -> Dict[int, Version]:
+        """The full consistent state ``DS^cycle`` (what cycle ``c`` airs)."""
+        return {item: self.value_at(item, cycle) for item in self.items()}
+
+    def chain_of(self, item: int) -> List[Version]:
+        """Full version history of ``item`` (oldest first) -- for oracles."""
+        return list(self._chain(item))
+
+    def was_updated_between(self, item: int, first: int, last: int) -> bool:
+        """Did any version of ``item`` become visible in ``[first, last]``?"""
+        return any(first <= v.cycle <= last for v in self._chain(item)[1:])

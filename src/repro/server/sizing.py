@@ -1,0 +1,195 @@
+"""Closed-form broadcast-size model (Sections 3.1-3.3, Figure 7).
+
+All sizes are expressed in *units*, the paper's abstract measure with the
+key field as the yardstick: ``k = 1`` unit, ``d = 5k`` units.  Sub-unit
+fields (version numbers, transaction ids, pointers -- all a handful of
+bits) are converted at ``bits_per_unit`` bits per unit and rounded up at
+the aggregate level, so e.g. ``u`` version numbers of ``log2(S)`` bits
+cost ``ceil(u * log2(S) / bits_per_unit)`` units in total.
+
+The quantities follow the formulas in the text:
+
+* invalidation-only report: ``u * k`` units  ->  ``ceil(u*k / b)`` buckets;
+* multiversion, clustered: every old version rides with its item and costs
+  ``k + d + v`` units, plus a per-cycle index of ``D * (k + p)`` units
+  because item positions shift (Figure 2(a));
+* multiversion, overflow: items carry a pointer of ``log2(B)`` bits; old
+  versions fill ``B = ceil(u * (S-1) * (k + d + v) / b)`` overflow buckets
+  (Figure 2(b));
+* SGT: items carry a last-writer tag of ``log2(N)`` bits, the augmented
+  report costs ``u * (k + log2(N))``, and the graph diff at most
+  ``N * c`` edges of ``log2(N) + (log2(N) + log2(S))`` bits each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import ServerParameters
+
+
+def _bits_to_units(bits: float, bits_per_unit: int) -> float:
+    return bits / bits_per_unit
+
+
+@dataclass(frozen=True)
+class SizeBreakdown:
+    """Broadcast size of one scheme, split by segment (units)."""
+
+    data_units: float
+    control_units: float
+    overflow_units: float = 0.0
+    index_units: float = 0.0
+
+    @property
+    def total_units(self) -> float:
+        return (
+            self.data_units
+            + self.control_units
+            + self.overflow_units
+            + self.index_units
+        )
+
+    def buckets(self, bucket_size: int) -> int:
+        return math.ceil(self.total_units / bucket_size)
+
+
+class SizeModel:
+    """Analytic sizes for every scheme, given the server parameters.
+
+    Parameters
+    ----------
+    params:
+        The server-side model parameters (D, N, U, k, d, b ...).
+    bits_per_unit:
+        How many bits one size unit holds.  The paper leaves this
+        implicit; 32 bits (a machine word per key unit) is assumed and
+        configurable.
+    """
+
+    def __init__(self, params: ServerParameters, bits_per_unit: int = 32) -> None:
+        if bits_per_unit <= 0:
+            raise ValueError("bits_per_unit must be positive")
+        self.params = params
+        self.bits_per_unit = bits_per_unit
+
+    # -- field widths in bits -------------------------------------------------
+
+    def version_bits(self, span: int) -> float:
+        """``v = log2(S)``: versions are broadcast age-relative (§3.2)."""
+        return math.log2(max(2, span))
+
+    def tid_bits(self) -> float:
+        """``log2(N)``: transaction ids are unique within a cycle (§3.3)."""
+        return math.log2(max(2, self.params.transactions_per_cycle))
+
+    def tid_with_cycle_bits(self, span: int) -> float:
+        """A transaction id qualified with its (relative) commit cycle."""
+        return self.tid_bits() + self.version_bits(span)
+
+    # -- per-scheme sizes ------------------------------------------------------
+
+    def base(self) -> SizeBreakdown:
+        """The plain broadcast: no consistency support at all."""
+        p = self.params
+        return SizeBreakdown(
+            data_units=p.broadcast_size * (p.key_size + p.data_size),
+            control_units=0.0,
+        )
+
+    def invalidation_only(self, updates: int) -> SizeBreakdown:
+        """§3.1: one key per updated item in the report."""
+        p = self.params
+        base = self.base()
+        return SizeBreakdown(
+            data_units=base.data_units,
+            control_units=updates * p.key_size,
+        )
+
+    def multiversion_clustered(self, updates: int, span: int) -> SizeBreakdown:
+        """§3.2, Figure 2(a): versions inline, index rebroadcast per cycle."""
+        p = self.params
+        old_versions = updates * max(0, span - 1)
+        version_units = _bits_to_units(self.version_bits(span), self.bits_per_unit)
+        old_units = old_versions * (p.key_size + p.data_size + version_units)
+        # Item positions shift every cycle, so a directory of D entries
+        # (key + slot pointer) must ride along.
+        pointer_units = _bits_to_units(
+            math.log2(max(2, p.data_buckets * span)), self.bits_per_unit
+        )
+        index_units = p.broadcast_size * (p.key_size + pointer_units)
+        return SizeBreakdown(
+            data_units=self.base().data_units + old_units,
+            control_units=updates * p.key_size,
+            index_units=index_units,
+        )
+
+    def multiversion_overflow(self, updates: int, span: int) -> SizeBreakdown:
+        """§3.2, Figure 2(b): fixed item positions, overflow buckets."""
+        p = self.params
+        old_versions = updates * max(0, span - 1)
+        version_units = _bits_to_units(self.version_bits(span), self.bits_per_unit)
+        overflow_units = old_versions * (p.key_size + p.data_size + version_units)
+        overflow_buckets = math.ceil(overflow_units / p.bucket_size)
+        # Every item carries a pointer (offset from the bcast end) of
+        # log2(B) bits, B being the number of overflow buckets.
+        pointer_bits = math.log2(max(2, overflow_buckets))
+        pointer_units = p.broadcast_size * _bits_to_units(
+            pointer_bits, self.bits_per_unit
+        )
+        return SizeBreakdown(
+            data_units=self.base().data_units + pointer_units,
+            control_units=updates * p.key_size,
+            overflow_units=overflow_units,
+        )
+
+    def sgt(self, updates: int, span: int) -> SizeBreakdown:
+        """§3.3: last-writer tags, augmented report, and the graph diff."""
+        p = self.params
+        tid_units = _bits_to_units(self.tid_with_cycle_bits(span), self.bits_per_unit)
+        data_units = p.broadcast_size * (p.key_size + p.data_size + tid_units)
+        report_units = updates * (p.key_size + tid_units)
+        ops_per_txn = p.updates_per_transaction * (1 + p.reads_per_update)
+        max_edges = p.transactions_per_cycle * ops_per_txn
+        edge_bits = self.tid_bits() + self.tid_with_cycle_bits(span)
+        diff_units = max_edges * _bits_to_units(edge_bits, self.bits_per_unit)
+        return SizeBreakdown(
+            data_units=data_units,
+            control_units=report_units + diff_units,
+        )
+
+    def multiversion_caching(self, updates: int, span: int) -> SizeBreakdown:
+        """§4.2: invalidation-only plus version numbers on data items."""
+        p = self.params
+        version_units = _bits_to_units(self.version_bits(span), self.bits_per_unit)
+        return SizeBreakdown(
+            data_units=self.base().data_units + p.broadcast_size * version_units,
+            control_units=updates * p.key_size,
+        )
+
+    # -- figure 7 ------------------------------------------------------------
+
+    def increase_percent(self, breakdown: SizeBreakdown) -> float:
+        """Relative size increase over the bare broadcast, in percent."""
+        base = self.base().total_units
+        return 100.0 * (breakdown.total_units - base) / base
+
+    def figure7_row(self, updates: int, span: int) -> Dict[str, float]:
+        """One (U, S) point of Figure 7 for all schemes."""
+        return {
+            "invalidation_only": self.increase_percent(
+                self.invalidation_only(updates)
+            ),
+            "multiversion_clustered": self.increase_percent(
+                self.multiversion_clustered(updates, span)
+            ),
+            "multiversion_overflow": self.increase_percent(
+                self.multiversion_overflow(updates, span)
+            ),
+            "sgt": self.increase_percent(self.sgt(updates, span)),
+            "multiversion_caching": self.increase_percent(
+                self.multiversion_caching(updates, span)
+            ),
+        }

@@ -1,0 +1,300 @@
+"""The server's update workload: strict-2PL transactions with Zipf access.
+
+Each broadcast cycle, ``N`` transactions commit at the server.  Following
+the performance model of Section 5.1:
+
+* updates are drawn from a Zipf distribution over ``1..UpdateRange``
+  rotated by ``offset`` (the deviation from the client read pattern);
+* server reads are four times as frequent as updates, drawn from the full
+  broadcast range with "zero offset with the update set" -- i.e. rotated
+  by the *same* offset so the server's read and write hot-spots coincide;
+* every transaction reads an item before writing it (the paper's standing
+  assumption in Section 3.3), so the write set is a subset of the read
+  set.
+
+Transactions are executed under strict two-phase locking.  Since strict
+2PL histories are conflict-equivalent to the commit-order serial history,
+we execute the transactions serially in commit order while recording the
+conflict (dependency / precedence) edges the SGT method needs.  Claim 1 of
+the paper -- no edges flow backwards into earlier cycles -- holds by
+construction, exactly as it does for any strict history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.config import ServerParameters
+from repro.graph.history import History
+from repro.graph.sgraph import GraphDiff, SerializationGraph, TxnId
+from repro.server.database import Database, Version
+from repro.server.versions import VersionStore
+from repro.stats.zipf import OffsetZipfGenerator
+
+
+@dataclass(frozen=True)
+class ServerTransaction:
+    """A committed server transaction: its id, read set and write set."""
+
+    tid: TxnId
+    readset: FrozenSet[int]
+    writeset: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.writeset <= self.readset:
+            raise ValueError(
+                f"{self.tid}: write set must be a subset of the read set"
+            )
+
+
+@dataclass(frozen=True)
+class CycleOutcome:
+    """Everything the broadcast builder needs about one cycle's commits.
+
+    Attributes
+    ----------
+    cycle:
+        The cycle *during* which these transactions committed.  Their
+        values become visible (broadcast) at cycle ``cycle + 1``.
+    transactions:
+        The committed transactions, in commit order.
+    updated_items:
+        Union of the write sets.
+    first_writers:
+        For each updated item, the first transaction of this cycle that
+        wrote it (the augmented invalidation report of Section 3.3).
+    diff:
+        The serialization-graph difference to broadcast: every conflict
+        edge whose head committed this cycle.
+    """
+
+    cycle: int
+    transactions: Tuple[ServerTransaction, ...]
+    updated_items: FrozenSet[int]
+    first_writers: Dict[int, TxnId]
+    diff: GraphDiff
+
+
+def merge_outcomes(parts: List[CycleOutcome]) -> CycleOutcome:
+    """Combine the per-interval partial outcomes of one cycle (§7's
+    sub-cycle report extension) into the full cycle outcome the next
+    cycle's main report announces."""
+    if not parts:
+        raise ValueError("Nothing to merge")
+    cycle = parts[0].cycle
+    if any(p.cycle != cycle for p in parts):
+        raise ValueError("Cannot merge outcomes from different cycles")
+    transactions: List[ServerTransaction] = []
+    updated: Set[int] = set()
+    first_writers: Dict[int, TxnId] = {}
+    nodes: Set[TxnId] = set()
+    edges: Set[Tuple[TxnId, TxnId]] = set()
+    for part in parts:
+        transactions.extend(part.transactions)
+        updated |= part.updated_items
+        for item, tid in part.first_writers.items():
+            # Earlier intervals ran first: keep the earliest writer.
+            if item not in first_writers:
+                first_writers[item] = tid
+        nodes |= part.diff.nodes
+        edges |= part.diff.edges
+    return CycleOutcome(
+        cycle=cycle,
+        transactions=tuple(transactions),
+        updated_items=frozenset(updated),
+        first_writers=first_writers,
+        diff=GraphDiff(cycle=cycle, nodes=frozenset(nodes), edges=frozenset(edges)),
+    )
+
+
+class TransactionEngine:
+    """Generates and executes the per-cycle server update workload."""
+
+    def __init__(
+        self,
+        params: ServerParameters,
+        database: Database,
+        version_store: Optional[VersionStore] = None,
+        rng: Optional[random.Random] = None,
+        keep_history: bool = False,
+        interleaved: bool = False,
+    ) -> None:
+        self.params = params
+        self.database = database
+        self.version_store = version_store
+        self._rng = rng if rng is not None else random.Random()
+        self._executor = None
+        #: Diagnostics of the most recent interleaved batch.
+        self.last_interleave = None
+        if interleaved:
+            from repro.server.interleave import InterleavedExecutor
+
+            self._executor = InterleavedExecutor(
+                rng=random.Random(self._rng.getrandbits(64))
+            )
+        self._update_gen = OffsetZipfGenerator(
+            n=params.update_range,
+            theta=params.theta,
+            offset=params.offset,
+            universe=params.broadcast_size,
+            rng=self._rng,
+        )
+        self._read_gen = OffsetZipfGenerator(
+            n=params.broadcast_size,
+            theta=params.theta,
+            offset=params.offset,
+            universe=params.broadcast_size,
+            rng=self._rng,
+        )
+        #: Cross-cycle conflict bookkeeping.
+        self._last_writer: Dict[int, TxnId] = {}
+        self._readers_since_write: Dict[int, Set[TxnId]] = {}
+        #: Full committed-transaction graph, for tests and Table 1 stats.
+        self.graph = SerializationGraph()
+        #: Optional complete operation history (oracle for tests).
+        self.history: Optional[History] = History() if keep_history else None
+        self._outcomes: List[CycleOutcome] = []
+
+    # -- workload generation ----------------------------------------------
+
+    def _generate_transaction(self, tid: TxnId) -> ServerTransaction:
+        """Draw one transaction's read and write sets."""
+        n_updates = self.params.updates_per_transaction
+        n_extra_reads = n_updates * (self.params.reads_per_update - 1)
+        writes = self._update_gen.sample_distinct(n_updates)
+        reads: List[int] = list(writes)
+        seen = set(writes)
+        attempts = 0
+        while len(reads) < n_updates + n_extra_reads and attempts < 50 * (
+            n_extra_reads + 1
+        ):
+            item = self._read_gen.sample()
+            attempts += 1
+            if item not in seen:
+                seen.add(item)
+                reads.append(item)
+        return ServerTransaction(
+            tid=tid, readset=frozenset(reads), writeset=frozenset(writes)
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def run_cycle(self, cycle: int) -> CycleOutcome:
+        """Commit this cycle's ``N`` transactions and return the outcome.
+
+        Values written become visible at cycle ``cycle + 1``.
+        """
+        outcome = self.run_batch(
+            cycle, range(self.params.transactions_per_cycle)
+        )
+        self._outcomes.append(outcome)
+        return outcome
+
+    def run_batch(self, cycle: int, seqs) -> CycleOutcome:
+        """Commit the transactions with sequence numbers ``seqs`` of cycle
+        ``cycle``.
+
+        Used directly by the sub-cycle report extension (§7): the server
+        loop splits a cycle's commits over the report intervals and merges
+        the partial outcomes with :func:`merge_outcomes`.
+        """
+        visible_at = cycle + 1
+        committed: List[ServerTransaction] = []
+        updated: Set[int] = set()
+        first_writers: Dict[int, TxnId] = {}
+        diff_edges: Set[Tuple[TxnId, TxnId]] = set()
+        diff_nodes: Set[TxnId] = set()
+
+        generated = [
+            self._generate_transaction(TxnId(cycle=cycle, seq=seq)) for seq in seqs
+        ]
+        if self._executor is not None:
+            # Interleaved strict-2PL execution: the commit order emerges
+            # from actual lock contention; the bookkeeping below then runs
+            # in that order (conflict-equivalent by strictness).
+            result = self._executor.run(generated)
+            generated = result.commit_order
+            self.last_interleave = result
+
+        for txn in generated:
+            tid = txn.tid
+            committed.append(txn)
+            diff_nodes.add(tid)
+            self.graph.add_node(tid, cycle=cycle)
+
+            # Reads first (strict 2PL, read-before-write): dependency edges
+            # from the last writer of each item read.
+            for item in sorted(txn.readset):
+                if self.history is not None:
+                    self.history.read(tid, item)
+                writer = self._last_writer.get(item)
+                if writer is not None and writer != tid:
+                    diff_edges.add((writer, tid))
+                    self.graph.add_edge(writer, tid)
+                self._readers_since_write.setdefault(item, set()).add(tid)
+
+            # Then the writes: ww edge from the last writer, rw (precedence)
+            # edges from every reader since that write.
+            for item in sorted(txn.writeset):
+                if self.history is not None:
+                    self.history.write(tid, item)
+                writer = self._last_writer.get(item)
+                if writer is not None and writer != tid:
+                    diff_edges.add((writer, tid))
+                    self.graph.add_edge(writer, tid)
+                for reader in self._readers_since_write.get(item, ()):
+                    if reader != tid:
+                        diff_edges.add((reader, tid))
+                        self.graph.add_edge(reader, tid)
+                self._readers_since_write[item] = set()
+                self._last_writer[item] = tid
+
+                previous = self.database.current(item)
+                self.database.write(item, visible_cycle=visible_at, writer=tid)
+                if self.version_store is not None and previous.cycle < visible_at:
+                    # The previous value was current up to this cycle; park
+                    # it in the old-version area of the broadcast.
+                    self.version_store.record_supersedure(
+                        previous, superseded_at=visible_at
+                    )
+
+                updated.add(item)
+                first_writers.setdefault(item, tid)
+
+            if self.history is not None:
+                self.history.commit(tid)
+
+        if self.version_store is not None:
+            self.version_store.evict_expired(visible_at)
+
+        return CycleOutcome(
+            cycle=cycle,
+            transactions=tuple(committed),
+            updated_items=frozenset(updated),
+            first_writers=first_writers,
+            diff=GraphDiff(
+                cycle=cycle,
+                nodes=frozenset(diff_nodes),
+                edges=frozenset(diff_edges),
+            ),
+        )
+
+    def record_outcome(self, outcome: CycleOutcome) -> None:
+        """Log a (possibly merged) cycle outcome for later inspection."""
+        self._outcomes.append(outcome)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def outcomes(self) -> List[CycleOutcome]:
+        return list(self._outcomes)
+
+    def last_writer_of(self, item: int) -> Optional[TxnId]:
+        """Committed last writer of ``item`` (broadcast item tag)."""
+        return self._last_writer.get(item)
+
+    def prune_graph_before(self, cycle: int) -> int:
+        """Bound server-side graph memory (mirrors the client's Lemma 1)."""
+        return self.graph.prune_before(cycle)

@@ -1,0 +1,171 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventPriority,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessGenerator
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at ``until``."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        """Event callback that stops the simulation with the event value."""
+        if event.ok:
+            raise cls(event.value)
+        event.defused()
+        raise event.value
+
+
+class EmptySchedule(Exception):
+    """Raised when the event queue runs dry before ``until`` is reached."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    The environment holds the simulation clock (:attr:`now`) and a priority
+    queue of scheduled events.  Simulated time only advances between events;
+    all computation at one instant is instantaneous in simulated time.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock and introspection -----------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def queue_length(self) -> int:
+        """Number of events currently scheduled (mainly for tests)."""
+        return len(self._queue)
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event that fires once every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event that fires once any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- scheduling and stepping -------------------------------------------
+
+    def schedule(
+        self,
+        event: Event,
+        priority: EventPriority = EventPriority.NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` units from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, int(priority), next(self._eid), event)
+        )
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when nothing remains.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Unhandled failure: crash the run loudly rather than losing it.
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else RuntimeError(str(exc))
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until the event queue is exhausted.  A number runs
+            until the clock reaches that time.  An :class:`Event` runs until
+            the event fires and returns its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(
+                        f"until ({at}) must be greater than the current time "
+                        f"({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                # Urgent so the clock stops *before* events at `at` run.
+                self.schedule(stop_event, EventPriority.URGENT, at - self._now)
+            if stop_event.callbacks is None:
+                return stop_event.value if stop_event.ok else None
+            stop_event.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.args[0] if exc.args else None
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise RuntimeError(
+                    f"No scheduled events left but {stop_event!r} was not triggered"
+                ) from None
+        return None

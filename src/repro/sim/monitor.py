@@ -1,0 +1,132 @@
+"""Instrumentation helpers: time-series recording and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class TimeSeries:
+    """A sequence of ``(time, value)`` observations.
+
+    Provides the summary operations the experiment harness needs:
+    plain mean, time-weighted mean (for level processes such as queue
+    lengths), min/max, and final value.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one observation at ``time``."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"Observations must be in time order: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    @property
+    def last(self) -> Optional[float]:
+        """Most recent value, or ``None`` if no observations."""
+        return self._values[-1] if self._values else None
+
+    def mean(self) -> float:
+        """Plain (unweighted) mean of the values."""
+        if not self._values:
+            raise ValueError(f"TimeSeries {self.name!r} is empty")
+        return sum(self._values) / len(self._values)
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean weighted by how long each value was in effect.
+
+        Each value is assumed to hold from its observation time until the
+        next observation (step function); the final value holds until
+        ``until`` (default: time of the last observation, contributing 0).
+        """
+        if not self._values:
+            raise ValueError(f"TimeSeries {self.name!r} is empty")
+        end = until if until is not None else self._times[-1]
+        total = 0.0
+        span = 0.0
+        for i, (t, v) in enumerate(zip(self._times, self._values)):
+            t_next = self._times[i + 1] if i + 1 < len(self._times) else end
+            dt = max(0.0, t_next - t)
+            total += v * dt
+            span += dt
+        if span == 0.0:
+            return self._values[-1]
+        return total / span
+
+    def minimum(self) -> float:
+        if not self._values:
+            raise ValueError(f"TimeSeries {self.name!r} is empty")
+        return min(self._values)
+
+    def maximum(self) -> float:
+        if not self._values:
+            raise ValueError(f"TimeSeries {self.name!r} is empty")
+        return max(self._values)
+
+    def stdev(self) -> float:
+        """Sample standard deviation of the values (0 for n < 2)."""
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        var = sum((v - mu) ** 2 for v in self._values) / (n - 1)
+        return math.sqrt(var)
+
+
+class Monitor:
+    """A registry of named :class:`TimeSeries` bound to an environment.
+
+    >>> from repro.sim import Environment, Monitor
+    >>> env = Environment()
+    >>> mon = Monitor(env)
+    >>> mon.observe('queue', 3)
+    >>> mon['queue'].last
+    3
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._series: Dict[str, TimeSeries] = {}
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` for series ``name`` at the current sim time."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name)
+        series.record(self.env.now, value)
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self._series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)

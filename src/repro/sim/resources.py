@@ -1,0 +1,158 @@
+"""Contention primitives: capacity-limited resources and message stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager so a process can write::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if not self.triggered:
+            try:
+                self.resource._waiting.remove(self)
+            except ValueError:  # pragma: no cover - already granted/raced
+                pass
+
+
+class Resource:
+    """A resource with a fixed number of usage slots (FIFO queueing)."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue(self) -> List[Request]:
+        """Requests waiting for a slot (FIFO order)."""
+        return list(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot.  The returned event fires when it is granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_waiting()
+        else:
+            request.cancel()
+
+    def _do_request(self, request: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.append(request)
+            request.succeed(request)
+        else:
+            self._waiting.append(request)
+
+    def _grant_waiting(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            request = self._waiting.popleft()
+            self._users.append(request)
+            request.succeed(request)
+
+
+class StorePut(Event):
+    """Pending insertion into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._do_get(self)
+
+
+class Store:
+    """An unordered buffer of items with blocking put/get.
+
+    Used to model message queues, e.g. the feed of buckets a client tuner
+    hands to the transaction-processing layer.
+    """
+
+    def __init__(self, env: "Environment", capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity if capacity is not None else float("inf")
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; blocks (as an event) while the store is full."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return an item; blocks while the store is empty."""
+        return StoreGet(self)
+
+    def _do_put(self, event: StorePut) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(event.item)
+            event.succeed(None)
+        elif len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed(None)
+        else:
+            self._putters.append(event)
+
+    def _do_get(self, event: StoreGet) -> None:
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putters()
+        elif self._putters:
+            putter = self._putters.popleft()
+            event.succeed(putter.item)
+            putter.succeed(None)
+        else:
+            self._getters.append(event)
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            self.items.append(putter.item)
+            putter.succeed(None)

@@ -1,0 +1,124 @@
+"""Statistical comparison of scheme results.
+
+The figures compare abort *rates* (binomial proportions) and latency
+*means* between schemes; eyeballing two noisy numbers is not evidence.
+These helpers give the harness and the test suite proper footing:
+
+* :func:`two_proportion_z` -- the classic two-proportion z-test for
+  "scheme A accepts significantly more queries than scheme B";
+* :func:`welch_t` -- Welch's unequal-variance t statistic for latency
+  comparisons (normal approximation of the p-value, adequate at the
+  sample sizes the harness produces);
+* :func:`wilson_interval` -- a confidence interval for a single rate
+  that behaves at the extremes (0% / 100% abort rates happen a lot in
+  Figure 5's corners, where the normal interval collapses nonsensically).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal (1 - CDF)."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of a two-sample test."""
+
+    statistic: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def two_proportion_z(
+    hits_a: int, total_a: int, hits_b: int, total_b: int
+) -> ComparisonResult:
+    """Two-sided two-proportion z-test for ``p_a != p_b``.
+
+    >>> result = two_proportion_z(90, 100, 50, 100)
+    >>> result.significant()
+    True
+    """
+    if total_a <= 0 or total_b <= 0:
+        raise ValueError("Both samples must be non-empty")
+    if not (0 <= hits_a <= total_a and 0 <= hits_b <= total_b):
+        raise ValueError("hits must lie within totals")
+    p_a = hits_a / total_a
+    p_b = hits_b / total_b
+    pooled = (hits_a + hits_b) / (total_a + total_b)
+    variance = pooled * (1 - pooled) * (1 / total_a + 1 / total_b)
+    if variance == 0:
+        return ComparisonResult(statistic=0.0, p_value=1.0)
+    z = (p_a - p_b) / math.sqrt(variance)
+    return ComparisonResult(statistic=z, p_value=2.0 * _normal_sf(abs(z)))
+
+
+def welch_t(
+    mean_a: float,
+    var_a: float,
+    n_a: int,
+    mean_b: float,
+    var_b: float,
+    n_b: int,
+) -> ComparisonResult:
+    """Welch's t-test (normal approximation for the tail probability)."""
+    if n_a < 2 or n_b < 2:
+        raise ValueError("Each sample needs at least 2 observations")
+    if var_a < 0 or var_b < 0:
+        raise ValueError("Variances must be non-negative")
+    se = math.sqrt(var_a / n_a + var_b / n_b)
+    if se == 0:
+        equal = math.isclose(mean_a, mean_b)
+        return ComparisonResult(statistic=0.0, p_value=1.0 if equal else 0.0)
+    t = (mean_a - mean_b) / se
+    return ComparisonResult(statistic=t, p_value=2.0 * _normal_sf(abs(t)))
+
+
+def wilson_interval(
+    hits: int, total: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    >>> low, high = wilson_interval(0, 50)
+    >>> low == 0.0 and high > 0.0
+    True
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if not 0 <= hits <= total:
+        raise ValueError("hits must lie within total")
+    p = hits / total
+    denom = 1 + z * z / total
+    centre = (p + z * z / (2 * total)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / total + z * z / (4 * total * total))
+        / denom
+    )
+    low = max(0.0, centre - half)
+    high = min(1.0, centre + half)
+    # Guard the extremes against floating-point droop: the interval must
+    # always contain the point estimate.
+    if hits == 0:
+        low = 0.0
+    if hits == total:
+        high = 1.0
+    return (min(low, p), max(high, p))
+
+
+def rates_differ(
+    hits_a: int,
+    total_a: int,
+    hits_b: int,
+    total_b: int,
+    alpha: float = 0.05,
+) -> bool:
+    """Convenience wrapper: are the two rates significantly different?"""
+    return two_proportion_z(hits_a, total_a, hits_b, total_b).significant(alpha)

@@ -1,0 +1,116 @@
+"""Named metric registry used by clients, servers, and the harness."""
+
+from __future__ import annotations
+
+from typing import Dict, ItemsView, Optional
+
+from repro.stats.online import OnlineStats, RatioEstimator
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"Counter increments must be non-negative, got {by}")
+        self._value += by
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self._value}>"
+
+
+class Sampler(OnlineStats):
+    """An :class:`OnlineStats` with a name, for registry bookkeeping."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+
+class MetricsRegistry:
+    """Lazily created counters, samplers and ratios, keyed by name.
+
+    All simulation components share one registry per experiment run, so
+    the harness can pull e.g. ``registry.ratio('txn.committed').complement``
+    as the abort rate without any component-specific wiring.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._samplers: Dict[str, Sampler] = {}
+        self._ratios: Dict[str, RatioEstimator] = {}
+
+    # -- accessors (create on first use) ---------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def sampler(self, name: str) -> Sampler:
+        sampler = self._samplers.get(name)
+        if sampler is None:
+            sampler = self._samplers[name] = Sampler(name)
+        return sampler
+
+    def ratio(self, name: str) -> RatioEstimator:
+        ratio = self._ratios.get(name)
+        if ratio is None:
+            ratio = self._ratios[name] = RatioEstimator()
+        return ratio
+
+    # -- convenience recording helpers ------------------------------------
+
+    def count(self, name: str, by: int = 1) -> None:
+        self.counter(name).increment(by)
+
+    def observe(self, name: str, value: float) -> None:
+        self.sampler(name).add(value)
+
+    def record_outcome(self, name: str, success: bool) -> None:
+        self.ratio(name).record(success)
+
+    # -- reporting ---------------------------------------------------------
+
+    def counters(self) -> ItemsView[str, Counter]:
+        return self._counters.items()
+
+    def samplers(self) -> ItemsView[str, Sampler]:
+        return self._samplers.items()
+
+    def ratios(self) -> ItemsView[str, RatioEstimator]:
+        return self._ratios.items()
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)
+
+    def get_sampler(self, name: str) -> Optional[Sampler]:
+        return self._samplers.get(name)
+
+    def get_ratio(self, name: str) -> Optional[RatioEstimator]:
+        return self._ratios.get(name)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every metric into a plain dict for CSV emission."""
+        flat: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            flat[f"{name}.count"] = float(counter.value)
+        for name, sampler in self._samplers.items():
+            if sampler.count:
+                flat[f"{name}.mean"] = sampler.mean
+                flat[f"{name}.max"] = sampler.maximum
+                flat[f"{name}.n"] = float(sampler.count)
+        for name, ratio in self._ratios.items():
+            if ratio.total:
+                flat[f"{name}.ratio"] = ratio.ratio
+                flat[f"{name}.total"] = float(ratio.total)
+        return flat

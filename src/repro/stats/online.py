@@ -1,0 +1,165 @@
+"""Numerically stable online statistics (Welford accumulation)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+
+class OnlineStats:
+    """Single-pass mean / variance / extrema accumulator.
+
+    Uses Welford's algorithm so long simulations do not lose precision.
+
+    >>> s = OnlineStats()
+    >>> for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+    ...     s.add(x)
+    >>> s.mean
+    5.0
+    >>> round(s.population_variance, 10)
+    4.0
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator combining ``self`` and ``other``.
+
+        Uses the parallel variant of Welford's update; handy when merging
+        per-client statistics into a per-experiment aggregate.
+        """
+        merged = OnlineStats()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        )
+        mins = [m for m in (self._min, other._min) if m is not None]
+        maxs = [m for m in (self._max, other._max) if m is not None]
+        merged._min = min(mins) if mins else None
+        merged._max = max(maxs) if maxs else None
+        return merged
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("No observations")
+        return self._mean
+
+    @property
+    def population_variance(self) -> float:
+        if self._n == 0:
+            raise ValueError("No observations")
+        return self._m2 / self._n
+
+    @property
+    def sample_variance(self) -> float:
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.sample_variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._min is None:
+            raise ValueError("No observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._max is None:
+            raise ValueError("No observations")
+        return self._max
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean (default 95%)."""
+        if self._n == 0:
+            raise ValueError("No observations")
+        half = z * self.stdev / math.sqrt(self._n) if self._n > 1 else 0.0
+        return (self._mean - half, self._mean + half)
+
+    def __repr__(self) -> str:
+        if self._n == 0:
+            return "<OnlineStats empty>"
+        return f"<OnlineStats n={self._n} mean={self._mean:.4g} sd={self.stdev:.4g}>"
+
+
+class RatioEstimator:
+    """Tracks a success/total ratio, e.g. commit or abort rates.
+
+    >>> r = RatioEstimator()
+    >>> for outcome in [True, True, False, True]:
+    ...     r.record(outcome)
+    >>> r.ratio
+    0.75
+    """
+
+    def __init__(self) -> None:
+        self._hits = 0
+        self._total = 0
+
+    def record(self, hit: bool) -> None:
+        self._total += 1
+        if hit:
+            self._hits += 1
+
+    def record_many(self, hits: int, total: int) -> None:
+        if hits > total:
+            raise ValueError(f"hits ({hits}) cannot exceed total ({total})")
+        self._hits += hits
+        self._total += total
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def ratio(self) -> float:
+        if self._total == 0:
+            raise ValueError("No observations")
+        return self._hits / self._total
+
+    @property
+    def complement(self) -> float:
+        """``1 - ratio`` -- abort rate when hits are commits, and so on."""
+        return 1.0 - self.ratio
+
+    def merge(self, other: "RatioEstimator") -> "RatioEstimator":
+        merged = RatioEstimator()
+        merged._hits = self._hits + other._hits
+        merged._total = self._total + other._total
+        return merged
+
+    def __repr__(self) -> str:
+        if self._total == 0:
+            return "<RatioEstimator empty>"
+        return f"<RatioEstimator {self._hits}/{self._total} = {self.ratio:.3f}>"

@@ -1,0 +1,204 @@
+"""Zipf access-pattern generators.
+
+The paper's performance model (Section 5.1) draws both client reads and
+server updates from a Zipf distribution: item ``i`` of ``n`` has probability
+proportional to ``(1/i)**theta``.  ``theta = 0`` degenerates to uniform
+access; the paper's default is ``theta = 0.95`` (strongly skewed).
+
+An *offset* of ``k`` rotates the distribution ``k`` items forward so that
+the hottest items of one party are lukewarm for the other; this models the
+"disagreement between the client access pattern and the server update
+pattern" that Figures 5 (right) and 8 (right) sweep.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence
+
+
+def zipf_pmf(n: int, theta: float) -> List[float]:
+    """Probability mass function of the Zipf(``theta``) law over ``1..n``.
+
+    Returns a list ``p`` where ``p[i-1]`` is the probability of rank ``i``.
+
+    >>> pmf = zipf_pmf(3, 1.0)
+    >>> round(sum(pmf), 10)
+    1.0
+    >>> pmf[0] > pmf[1] > pmf[2]
+    True
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    weights = [(1.0 / rank) ** theta for rank in range(1, n + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+class ZipfGenerator:
+    """Samples item numbers ``first .. first + n - 1`` with Zipf skew.
+
+    Rank 1 (the hottest item) maps to ``first``, rank 2 to ``first + 1``
+    and so on, matching the paper's convention that the access range is a
+    prefix ``1..ReadRange`` of the broadcast ``1..BroadcastSize``.
+
+    Parameters
+    ----------
+    n:
+        Number of distinct items in the range.
+    theta:
+        Skew parameter; 0 is uniform, larger is more skewed.
+    rng:
+        Source of randomness; pass a seeded :class:`random.Random` for
+        reproducible simulations.
+    first:
+        Item number that rank 1 maps to (default 1).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        theta: float,
+        rng: Optional[random.Random] = None,
+        first: int = 1,
+    ) -> None:
+        self.n = n
+        self.theta = theta
+        self.first = first
+        self._rng = rng if rng is not None else random.Random()
+        pmf = zipf_pmf(n, theta)
+        self._cdf = list(itertools.accumulate(pmf))
+        # Guard against floating-point drift in the final bucket.
+        self._cdf[-1] = 1.0
+
+    def probability(self, item: int) -> float:
+        """Probability of sampling ``item`` (0.0 outside the range)."""
+        rank = item - self.first + 1
+        if rank < 1 or rank > self.n:
+            return 0.0
+        lo = self._cdf[rank - 2] if rank >= 2 else 0.0
+        return self._cdf[rank - 1] - lo
+
+    def sample(self) -> int:
+        """Draw one item number."""
+        u = self._rng.random()
+        rank = bisect.bisect_left(self._cdf, u) + 1
+        return self.first + min(rank, self.n) - 1
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` item numbers (with repetition)."""
+        return [self.sample() for _ in range(count)]
+
+    def sample_distinct(self, count: int) -> List[int]:
+        """Draw ``count`` *distinct* item numbers, preserving draw order.
+
+        Used for transaction read/write sets where re-reading the same item
+        would shrink the effective operation count.
+        """
+        if count > self.n:
+            raise ValueError(
+                f"Cannot draw {count} distinct items from a range of {self.n}"
+            )
+        seen: set = set()
+        result: List[int] = []
+        # Rejection sampling is fast while count << n; fall back to an
+        # exhaustive weighted shuffle when the request is close to n.
+        attempts = 0
+        limit = 50 * count + 100
+        while len(result) < count and attempts < limit:
+            item = self.sample()
+            attempts += 1
+            if item not in seen:
+                seen.add(item)
+                result.append(item)
+        while len(result) < count:
+            # Deterministic fill from hottest remaining rank.
+            for rank in range(1, self.n + 1):
+                item = self.first + rank - 1
+                if item not in seen:
+                    seen.add(item)
+                    result.append(item)
+                    break
+        return result
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.sample()
+
+
+class OffsetZipfGenerator:
+    """A Zipf sampler whose output is rotated by ``offset`` items.
+
+    The rotation happens inside a wrapping universe ``1..universe`` (the
+    broadcast range): rank 1 maps to item ``1 + offset``, and items that
+    would fall off the end wrap around to the beginning.  With
+    ``offset = 0`` this is exactly :class:`ZipfGenerator`; growing offsets
+    move the server's update hot-spot away from the client's read hot-spot,
+    reducing the overlap of the two distributions.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        theta: float,
+        offset: int = 0,
+        universe: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        self.offset = offset
+        self.universe = universe if universe is not None else n + offset
+        if self.universe < n:
+            raise ValueError(
+                f"universe ({self.universe}) smaller than range size ({n})"
+            )
+        self._base = ZipfGenerator(n, theta, rng=rng)
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def theta(self) -> float:
+        return self._base.theta
+
+    def _shift(self, item: int) -> int:
+        return (item - 1 + self.offset) % self.universe + 1
+
+    def probability(self, item: int) -> float:
+        """Probability of sampling ``item`` after the rotation."""
+        # Invert the shift: find the pre-image in the base range.
+        base_item = (item - 1 - self.offset) % self.universe + 1
+        return self._base.probability(base_item)
+
+    def sample(self) -> int:
+        return self._shift(self._base.sample())
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for _ in range(count)]
+
+    def sample_distinct(self, count: int) -> List[int]:
+        return [self._shift(item) for item in self._base.sample_distinct(count)]
+
+    def support(self) -> Sequence[int]:
+        """All items this generator can emit (rotation applied)."""
+        return [self._shift(i) for i in range(1, self.n + 1)]
+
+    def overlap(self, other: "OffsetZipfGenerator") -> float:
+        """Bhattacharyya-style overlap with another generator in [0, 1].
+
+        Computed as ``sum(min(p_self(i), p_other(i)))`` over the shared
+        universe; 1.0 means identical access patterns, 0.0 means disjoint.
+        Used by tests to sanity-check that growing the offset shrinks the
+        overlap, mirroring the prose of Section 5.1.
+        """
+        universe = max(self.universe, other.universe)
+        total = 0.0
+        for item in range(1, universe + 1):
+            total += min(self.probability(item), other.probability(item))
+        return total

@@ -1,0 +1,141 @@
+"""Correctness verification oracles.
+
+The paper's correctness criterion (Section 2.2): the readset of every
+committed read-only transaction must be a subset of a consistent
+database state.  This module checks that criterion from ground truth --
+the server's full version chains and (optionally) its recorded operation
+history:
+
+* :func:`snapshot_cycle_of` / :func:`readset_matches_snapshot` -- the
+  *snapshot* test: does some broadcast state ``DS^c`` contain the whole
+  readset?  Sufficient for the snapshot-pinning schemes (Theorems 1, 2,
+  4, 5).
+* :func:`is_serializable_with_server` -- the general *serializability*
+  test used for SGT (Theorem 3): fold the query into the complete
+  conflict graph and test acyclicity.  SGT legitimately commits readsets
+  that match no broadcast snapshot yet pass this test.
+* :func:`check_transaction` -- the union: snapshot match or (when a
+  history is available) serializability.
+
+These run on the simulation's server-side ground truth, so they belong
+in test harnesses and examples -- a real client could not run them (it
+would need the server!).  They are the executable statement of what the
+protocols guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.transaction import ReadOnlyTransaction, TransactionStatus
+from repro.graph.history import History
+from repro.server.database import Database
+
+
+def readset_matches_snapshot(
+    txn: ReadOnlyTransaction, database: Database, cycle: int
+) -> bool:
+    """Does every value ``txn`` read equal the item's value in ``DS^cycle``?"""
+    for item, result in txn.reads.items():
+        if database.value_at(item, cycle).value != result.value:
+            return False
+    return True
+
+
+def snapshot_cycle_of(
+    txn: ReadOnlyTransaction, database: Database
+) -> Optional[int]:
+    """The smallest broadcast cycle whose state contains the readset.
+
+    ``None`` means no broadcast snapshot matches; for the snapshot-based
+    schemes that is a correctness violation, for SGT it may still be a
+    legitimate (serializable) commit.
+    """
+    if not txn.reads:
+        return 0
+    low = min(result.version for result in txn.reads.values())
+    high = max(txn.cycles_touched) if txn.cycles_touched else low
+    for cycle in range(low, high + 1):
+        if readset_matches_snapshot(txn, database, cycle):
+            return cycle
+    return None
+
+
+def is_serializable_with_server(
+    txn: ReadOnlyTransaction,
+    database: Database,
+    history: History,
+    base_graph=None,
+) -> bool:
+    """Is the committed query serializable against the full history?
+
+    Builds the complete server conflict graph, then folds the query in: a
+    dependency edge from the writer of each version it read, and a
+    precedence edge toward every committed transaction that wrote the
+    item *after* that version.  Correct iff the result is acyclic
+    (the serialization theorem).
+
+    ``base_graph`` lets callers checking many transactions reuse one
+    pre-built server graph (see :func:`violations`); it is copied, never
+    mutated.
+    """
+    graph = (
+        base_graph.copy() if base_graph is not None else history.serialization_graph()
+    )
+    node = txn.txn_id
+    graph.add_node(node)
+    for item, result in txn.reads.items():
+        chain = database.chain_of(item)
+        read_version = None
+        for version in chain:
+            if version.value == result.value:
+                read_version = version
+                break
+        if read_version is None:
+            # The client read a value the server never committed.
+            return False
+        if read_version.writer is not None:
+            graph.add_edge(read_version.writer, node)
+        for version in chain:
+            if version.value > read_version.value and version.writer is not None:
+                if not graph.has_edge(node, version.writer):
+                    graph.add_edge(node, version.writer)
+    return not graph.has_cycle()
+
+
+def check_transaction(
+    txn: ReadOnlyTransaction,
+    database: Database,
+    history: Optional[History] = None,
+    base_graph=None,
+) -> bool:
+    """The full correctness criterion for one committed transaction."""
+    if snapshot_cycle_of(txn, database) is not None:
+        return True
+    if history is not None:
+        return is_serializable_with_server(
+            txn, database, history, base_graph=base_graph
+        )
+    return False
+
+
+def violations(
+    clients: Iterable,
+    database: Database,
+    history: Optional[History] = None,
+) -> List[ReadOnlyTransaction]:
+    """All committed transactions across ``clients`` that violate the
+    correctness criterion (empty for every paper scheme).
+
+    The server conflict graph is built once and reused across all the
+    transactions checked.
+    """
+    base_graph = history.serialization_graph() if history is not None else None
+    bad: List[ReadOnlyTransaction] = []
+    for client in clients:
+        for txn in client.completed:
+            if txn.status is not TransactionStatus.COMMITTED:
+                continue
+            if not check_transaction(txn, database, history, base_graph):
+                bad.append(txn)
+    return bad

@@ -1,0 +1,234 @@
+"""Tests for channel timing, tuning and cycle synchronization."""
+
+import pytest
+
+from repro.broadcast.channel import BroadcastChannel
+from repro.broadcast.program import (
+    BroadcastProgram,
+    Bucket,
+    ItemRecord,
+    OldVersionRecord,
+)
+from repro.core.control import ControlInfo, InvalidationReport
+from repro.sim import Environment
+
+
+def make_program(cycle, versions=None, overflow=()):
+    versions = versions or {}
+    data = [
+        Bucket(
+            index=0,
+            records=(
+                ItemRecord(1, versions.get(1, (10, 0))[0], versions.get(1, (10, 0))[1]),
+                ItemRecord(2, versions.get(2, (20, 0))[0], versions.get(2, (20, 0))[1]),
+            ),
+        ),
+        Bucket(
+            index=1,
+            records=(
+                ItemRecord(3, versions.get(3, (30, 0))[0], versions.get(3, (30, 0))[1]),
+            ),
+        ),
+    ]
+    overflow_buckets = []
+    if overflow:
+        overflow_buckets = [Bucket(index=0, old_records=tuple(overflow))]
+    return BroadcastProgram(
+        cycle=cycle,
+        control=ControlInfo(cycle=cycle, invalidation=InvalidationReport(cycle=cycle)),
+        data_buckets=data,
+        overflow_buckets=overflow_buckets,
+        control_slots=1,
+    )
+
+
+def run_server(env, channel, programs):
+    def server(env):
+        for program in programs:
+            channel.begin_cycle(program)
+            yield env.timeout(program.total_slots)
+
+    env.process(server(env))
+
+
+class TestBasics:
+    def test_not_on_air_initially(self):
+        channel = BroadcastChannel(Environment())
+        assert not channel.on_air
+        with pytest.raises(RuntimeError):
+            _ = channel.program
+
+    def test_begin_cycle_installs_program(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        program = make_program(1)
+        channel.begin_cycle(program)
+        assert channel.on_air
+        assert channel.current_cycle == 1
+        assert channel.cycle_start_time == 0.0
+
+    def test_listener_notified_at_cycle_start(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        seen = []
+
+        class Listener:
+            def on_cycle_start(self, program):
+                seen.append(program.cycle)
+
+        listener = Listener()
+        channel.subscribe(listener)
+        channel.begin_cycle(make_program(1))
+        assert seen == [1]
+        channel.unsubscribe(listener)
+        channel.begin_cycle(make_program(2))
+        assert seen == [1]
+
+    def test_delivery_time_is_mid_slot(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        channel.begin_cycle(make_program(1))
+        assert channel.delivery_time(0) == 0.5
+        assert channel.delivery_time(2) == 2.5
+
+
+class TestAwaitItem:
+    def test_waits_until_item_slot(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        run_server(env, channel, [make_program(1), make_program(2)])
+        results = []
+
+        def client(env):
+            record, cycle = yield from channel.await_item(3)
+            results.append((record.value, cycle, env.now))
+
+        env.process(client(env))
+        env.run()
+        # Item 3 is in data bucket 1 = slot 2, delivered at 2.5.
+        assert results == [(30, 1, 2.5)]
+
+    def test_missed_item_waits_for_next_cycle(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        run_server(env, channel, [make_program(1), make_program(2)])
+        results = []
+
+        def client(env):
+            yield env.timeout(2.0)  # item 1's slot (1) already passed at 1.5
+            record, cycle = yield from channel.await_item(1)
+            results.append((cycle, env.now))
+
+        env.process(client(env))
+        env.run()
+        # Cycle 2 starts at t=3 (3 slots); item 1 delivered at 3 + 1.5.
+        assert results == [(2, 4.5)]
+
+    def test_value_read_from_the_cycle_it_was_broadcast_in(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        programs = [
+            make_program(1, versions={1: (10, 0)}),
+            make_program(2, versions={1: (11, 2)}),
+        ]
+        run_server(env, channel, programs)
+        results = []
+
+        def client(env):
+            yield env.timeout(2.0)
+            record, cycle = yield from channel.await_item(1)
+            results.append((record.value, record.version))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(11, 2)]
+
+
+class TestAwaitOldVersion:
+    def test_current_value_satisfies_old_request(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        run_server(env, channel, [make_program(1, versions={1: (10, 0)})])
+        results = []
+
+        def client(env):
+            record, found, valid_to = yield from channel.await_old_version(1, 1)
+            results.append((record.value, found, valid_to, env.now))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(10, True, None, 1.5)]
+
+    def test_overflow_version_waits_for_end_of_bcast(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        old = OldVersionRecord(item=1, value=9, version=0, valid_to=1)
+        program = make_program(2, versions={1: (10, 2)}, overflow=[old])
+        run_server(env, channel, [program])
+        results = []
+
+        def client(env):
+            record, found, valid_to = yield from channel.await_old_version(1, 1)
+            results.append((record.value, found, valid_to, env.now))
+
+        env.process(client(env))
+        env.run()
+        # Overflow bucket is the last slot (slot 3), delivered at 3.5 --
+        # the paper's latency penalty for the overflow organization.
+        assert results == [(9, True, 1, 3.5)]
+
+    def test_version_gone_reports_not_found(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        program = make_program(3, versions={1: (12, 3)})  # no old versions
+        run_server(env, channel, [program])
+        results = []
+
+        def client(env):
+            record, found, valid_to = yield from channel.await_old_version(1, 1)
+            results.append((record, found))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(None, False)]
+
+
+class TestCycleStarted:
+    def test_event_fires_with_new_program(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        seen = []
+
+        def client(env):
+            program = yield channel.cycle_started()
+            seen.append((program.cycle, env.now))
+            program = yield channel.cycle_started()
+            seen.append((program.cycle, env.now))
+
+        # Tune in before the server starts so cycle 1's boundary is heard.
+        env.process(client(env))
+        run_server(env, channel, [make_program(1), make_program(2)])
+        env.run()
+        assert seen == [(1, 0.0), (2, 3.0)]
+
+    def test_listener_runs_before_waiters_resume(self):
+        """The ordering contract: control-information callbacks run before
+        any process waiting on the cycle boundary."""
+        env = Environment()
+        channel = BroadcastChannel(env)
+        order = []
+
+        class Listener:
+            def on_cycle_start(self, program):
+                order.append("listener")
+
+        channel.subscribe(Listener())
+
+        def waiter(env):
+            yield channel.cycle_started()
+            order.append("waiter")
+
+        env.process(waiter(env))
+        run_server(env, channel, [make_program(1)])
+        env.run()
+        assert order == ["listener", "waiter"]

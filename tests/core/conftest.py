@@ -1,0 +1,20 @@
+"""Shared machinery for scheme-correctness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Simulation
+
+
+@pytest.fixture
+def run_sim():
+    """Run a small simulation and return it together with its result."""
+
+    def _run(params, factory, **kwargs):
+        kwargs.setdefault("keep_history", True)
+        sim = Simulation(params, scheme_factory=factory, **kwargs)
+        result = sim.run()
+        return sim, result
+
+    return _run

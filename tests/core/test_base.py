@@ -1,0 +1,50 @@
+"""Tests for the Scheme base class and ReadContext plumbing."""
+
+import pytest
+
+from repro.core.base import ReadAborted, Scheme
+from repro.core.invalidation import InvalidationOnly
+from repro.core.transaction import AbortReason
+
+
+def test_unattached_scheme_rejects_context_access():
+    scheme = InvalidationOnly()
+    with pytest.raises(RuntimeError, match="not attached"):
+        _ = scheme.ctx
+
+
+def test_read_aborted_carries_reason():
+    exc = ReadAborted(AbortReason.VERSION_GONE, "gone")
+    assert exc.reason is AbortReason.VERSION_GONE
+    assert "gone" in str(exc)
+
+
+def test_read_aborted_defaults_message_to_reason():
+    exc = ReadAborted(AbortReason.CYCLE_DETECTED)
+    assert "cycle_detected" in str(exc)
+
+
+def test_base_scheme_read_is_abstract():
+    scheme = Scheme()
+    with pytest.raises(NotImplementedError):
+        scheme.read(None, 1)
+
+
+def test_default_label_reflects_cache_flag():
+    class Dummy(Scheme):
+        name = "dummy"
+
+    assert Dummy(use_cache=False).label == "dummy"
+    assert Dummy(use_cache=True).label == "dummy+cache"
+
+
+def test_default_state_cycle_is_none():
+    assert Scheme().state_cycle(None) is None
+
+
+def test_default_requirements_are_empty():
+    reqs = Scheme().requirements()
+    assert not reqs.needs_old_versions
+    assert not reqs.needs_sgt
+    assert not reqs.needs_versions_on_items
+    assert reqs.report_window == 0

@@ -1,0 +1,89 @@
+"""Tests for control information and broadcast requirements."""
+
+import pytest
+
+from repro.core.control import (
+    BroadcastRequirements,
+    ControlInfo,
+    InvalidationReport,
+    ReportSchedule,
+)
+from repro.graph.sgraph import TxnId
+
+
+class TestInvalidationReport:
+    def test_invalidates_intersection(self):
+        report = InvalidationReport(cycle=3, updated_items=frozenset({1, 2, 3}))
+        assert report.invalidates(frozenset({2, 9})) == frozenset({2})
+        assert report.invalidates(frozenset({9})) == frozenset()
+
+    def test_bucket_invalidation(self):
+        report = InvalidationReport(cycle=3, updated_buckets=frozenset({0, 4}))
+        assert report.invalidates_buckets(frozenset({4, 7})) == frozenset({4})
+
+
+class TestControlInfo:
+    def make(self, cycle=5, window_cycles=(3, 4)):
+        return ControlInfo(
+            cycle=cycle,
+            invalidation=InvalidationReport(cycle=cycle),
+            window=tuple(InvalidationReport(cycle=c) for c in window_cycles),
+        )
+
+    def test_report_covering(self):
+        control = self.make()
+        assert control.report_covering(5).cycle == 5
+        assert control.report_covering(4).cycle == 4
+        assert control.report_covering(2) is None
+
+    def test_missed_window_ok(self):
+        control = self.make()
+        assert control.missed_window_ok(last_heard=4)
+        assert control.missed_window_ok(last_heard=2)
+        assert not control.missed_window_ok(last_heard=1)
+
+
+class TestBroadcastRequirements:
+    def test_merge_unions_flags(self):
+        a = BroadcastRequirements(needs_sgt=True)
+        b = BroadcastRequirements(needs_versions_on_items=True, report_window=3)
+        merged = a.merge(b)
+        assert merged.needs_sgt
+        assert merged.needs_versions_on_items
+        assert merged.report_window == 3
+        assert not merged.needs_old_versions
+
+    def test_merge_keeps_organization_of_requester(self):
+        mv = BroadcastRequirements(needs_old_versions=True, organization="clustered")
+        plain = BroadcastRequirements()
+        assert mv.merge(plain).organization == "clustered"
+        assert plain.merge(mv).organization == "clustered"
+
+    def test_conflicting_organizations_rejected(self):
+        a = BroadcastRequirements(needs_old_versions=True, organization="clustered")
+        b = BroadcastRequirements(needs_old_versions=True, organization="overflow")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestReportSchedule:
+    def test_defaults(self):
+        schedule = ReportSchedule()
+        assert schedule.per_cycle == 1
+        assert schedule.window == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReportSchedule(per_cycle=0)
+        with pytest.raises(ValueError):
+            ReportSchedule(window=-1)
+
+
+class TestTxnIdEncoding:
+    def test_first_writers_mapping(self):
+        report = InvalidationReport(
+            cycle=4,
+            updated_items=frozenset({7}),
+            first_writers={7: TxnId(3, 2)},
+        )
+        assert report.first_writers[7] == TxnId(3, 2)

@@ -1,0 +1,90 @@
+"""Tests for the client transaction state machine."""
+
+import pytest
+
+from repro.core.transaction import (
+    AbortReason,
+    ReadOnlyTransaction,
+    ReadResult,
+    TransactionStatus,
+)
+
+
+def make_txn(items=(1, 2, 3)):
+    return ReadOnlyTransaction(txn_id="t", items=list(items), start_cycle=1)
+
+
+def read_result(item, cycle=1, value=0, version=0):
+    return ReadResult(item=item, value=value, version=version, read_cycle=cycle)
+
+
+class TestReads:
+    def test_record_read_updates_sets(self):
+        txn = make_txn()
+        txn.record_read(read_result(1, cycle=2))
+        txn.record_read(read_result(2, cycle=3))
+        assert txn.readset == frozenset({1, 2})
+        assert txn.cycles_touched == {2, 3}
+        assert txn.first_read_cycle == 2
+        assert txn.span == 2
+        assert txn.remaining == [3]
+
+    def test_first_read_cycle_fixed_by_first_read(self):
+        txn = make_txn()
+        txn.record_read(read_result(1, cycle=5))
+        txn.record_read(read_result(2, cycle=9))
+        assert txn.first_read_cycle == 5
+
+    def test_read_on_finished_transaction_rejected(self):
+        txn = make_txn()
+        txn.commit(time=1.0, cycle=1)
+        with pytest.raises(RuntimeError):
+            txn.record_read(read_result(1))
+
+
+class TestTransitions:
+    def test_mark_sets_deadline_once(self):
+        txn = make_txn()
+        txn.mark(deadline=7)
+        assert txn.status is TransactionStatus.MARKED
+        assert txn.deadline == 7
+        assert txn.is_marked and txn.is_active
+        txn.mark(deadline=9)  # later invalidations do not move it
+        assert txn.deadline == 7
+
+    def test_commit_finalizes(self):
+        txn = make_txn()
+        txn.commit(time=10.0, cycle=4)
+        assert txn.status is TransactionStatus.COMMITTED
+        assert not txn.is_active
+        assert txn.end_cycle == 4
+        assert txn.latency_cycles == 4
+
+    def test_marked_transaction_can_commit(self):
+        txn = make_txn()
+        txn.mark(deadline=3)
+        txn.commit(time=1.0, cycle=3)
+        assert txn.status is TransactionStatus.COMMITTED
+
+    def test_abort_records_reason(self):
+        txn = make_txn()
+        txn.abort(AbortReason.INVALIDATED, time=2.0, cycle=3)
+        assert txn.status is TransactionStatus.ABORTED
+        assert txn.abort_reason is AbortReason.INVALIDATED
+        assert not txn.is_active
+
+    def test_double_commit_rejected(self):
+        txn = make_txn()
+        txn.commit(time=1.0, cycle=1)
+        with pytest.raises(RuntimeError):
+            txn.commit(time=2.0, cycle=2)
+
+    def test_abort_after_commit_rejected(self):
+        txn = make_txn()
+        txn.commit(time=1.0, cycle=1)
+        with pytest.raises(RuntimeError):
+            txn.abort(AbortReason.INVALIDATED, time=2.0, cycle=2)
+
+    def test_latency_requires_completion(self):
+        with pytest.raises(RuntimeError):
+            _ = make_txn().latency_cycles

@@ -1,0 +1,43 @@
+"""Shared test utilities.
+
+The correctness oracles live in the library itself
+(:mod:`repro.verify`) so that examples and downstream users can run
+them; this module re-exports them for the test suite and adds small
+transaction-collection helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.transaction import ReadOnlyTransaction, TransactionStatus
+from repro.verify import (  # noqa: F401 -- re-exported for tests
+    check_transaction,
+    is_serializable_with_server,
+    readset_matches_snapshot,
+    snapshot_cycle_of,
+    violations,
+)
+
+
+def committed_transactions(clients: Iterable) -> List[ReadOnlyTransaction]:
+    """All committed attempts across clients, completion order."""
+    result: List[ReadOnlyTransaction] = []
+    for client in clients:
+        result.extend(
+            txn
+            for txn in client.completed
+            if txn.status is TransactionStatus.COMMITTED
+        )
+    return result
+
+
+def aborted_transactions(clients: Iterable) -> List[ReadOnlyTransaction]:
+    result: List[ReadOnlyTransaction] = []
+    for client in clients:
+        result.extend(
+            txn
+            for txn in client.completed
+            if txn.status is TransactionStatus.ABORTED
+        )
+    return result

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+RUN_SMALL = [
+    "run",
+    "--cycles", "25",
+    "--warmup", "3",
+    "--clients", "2",
+    "--broadcast-size", "100",
+    "--update-range", "50",
+    "--updates", "8",
+    "--offset", "20",
+    "--read-range", "40",
+    "--cache-size", "20",
+    "--ops", "4",
+    "--think-time", "0.5",
+]
+
+
+def test_schemes_command_lists_registry(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "sgt+cache" in out
+    assert "multiversion" in out
+
+
+def test_sizes_command_prints_table(capsys):
+    assert main(["sizes", "--updates", "50", "--span", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "invalidation_only" in out
+    assert "size increase" in out
+
+
+def test_run_command_prints_summary(capsys):
+    code = main(RUN_SMALL + ["--scheme", "inval+cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "abort rate" in out
+    assert "invalidation-only+cache" in out
+
+
+def test_run_with_verify_reports_clean_oracle(capsys):
+    code = main(RUN_SMALL + ["--scheme", "versioned-cache", "--verify"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+
+
+def test_run_with_interleaved_server(capsys):
+    code = main(RUN_SMALL + ["--scheme", "sgt", "--interleaved-server", "--verify"])
+    assert code == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_run_with_subcycle_reports(capsys):
+    code = main(RUN_SMALL + ["--reports-per-cycle", "3"])
+    assert code == 0
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--scheme", "nonsense"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

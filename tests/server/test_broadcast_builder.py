@@ -1,0 +1,232 @@
+"""Tests for the per-cycle broadcast program builder."""
+
+import random
+
+import pytest
+
+from repro.broadcast.program import MultiversionOrganization
+from repro.config import ServerParameters
+from repro.core.control import BroadcastRequirements
+from repro.server.broadcast import ProgramBuilder, bucket_of_item
+from repro.server.database import Database
+from repro.server.transactions import TransactionEngine
+from repro.server.versions import VersionStore
+
+
+def make_world(requirements=None, retention=4, **overrides):
+    defaults = dict(
+        broadcast_size=50,
+        update_range=30,
+        offset=0,
+        updates_per_cycle=10,
+        transactions_per_cycle=5,
+        items_per_bucket=5,
+    )
+    defaults.update(overrides)
+    params = ServerParameters(**defaults)
+    db = Database(params.broadcast_size)
+    requirements = requirements or BroadcastRequirements()
+    store = None
+    if requirements.needs_old_versions or requirements.needs_versions_on_items:
+        store = VersionStore(db, retention=retention)
+    engine = TransactionEngine(
+        params, db, version_store=store, rng=random.Random(3)
+    )
+    builder = ProgramBuilder(
+        params, db, version_store=store, requirements=requirements
+    )
+    return params, db, engine, builder
+
+
+def test_bucket_of_item_layout():
+    assert bucket_of_item(1, 10) == 0
+    assert bucket_of_item(10, 10) == 0
+    assert bucket_of_item(11, 10) == 1
+
+
+class TestFirstCycle:
+    def test_empty_report_and_layout(self):
+        params, _, _, builder = make_world()
+        program = builder.build(1, None)
+        assert program.cycle == 1
+        assert program.control.invalidation.updated_items == frozenset()
+        assert program.control_slots == 1
+        assert len(program.data_buckets) == 10  # 50 items / 5 per bucket
+        assert program.total_slots == 11
+        assert sorted(program.items) == list(range(1, 51))
+
+    def test_records_carry_initial_versions(self):
+        _, _, _, builder = make_world()
+        program = builder.build(1, None)
+        for item in range(1, 51):
+            record = program.record_of(item)
+            assert record.version == 0
+            assert record.writer is None
+
+
+class TestInvalidationReports:
+    def test_report_reflects_previous_cycle_updates(self):
+        _, _, engine, builder = make_world()
+        builder.build(1, None)
+        outcome = engine.run_cycle(1)
+        program = builder.build(2, outcome)
+        assert program.control.invalidation.updated_items == outcome.updated_items
+        assert program.control.invalidation.cycle == 2
+
+    def test_bucket_level_report_derived(self):
+        params, _, engine, builder = make_world()
+        builder.build(1, None)
+        outcome = engine.run_cycle(1)
+        program = builder.build(2, outcome)
+        expected = frozenset(
+            bucket_of_item(item, params.items_per_bucket)
+            for item in outcome.updated_items
+        )
+        assert program.control.invalidation.updated_buckets == expected
+
+    def test_data_values_match_snapshot(self):
+        _, db, engine, builder = make_world()
+        builder.build(1, None)
+        outcome = engine.run_cycle(1)
+        program = builder.build(2, outcome)
+        for item in range(1, 51):
+            record = program.record_of(item)
+            expected = db.value_at(item, 2)
+            assert record.value == expected.value
+            assert record.version == expected.cycle
+
+
+class TestSgtRequirements:
+    def test_graph_diff_and_first_writers_on_air(self):
+        reqs = BroadcastRequirements(needs_sgt=True)
+        _, _, engine, builder = make_world(requirements=reqs)
+        builder.build(1, None)
+        outcome = engine.run_cycle(1)
+        program = builder.build(2, outcome)
+        assert program.control.graph_diff == outcome.diff
+        assert dict(program.control.invalidation.first_writers) == dict(
+            outcome.first_writers
+        )
+
+    def test_without_sgt_no_diff_or_first_writers(self):
+        _, _, engine, builder = make_world()
+        builder.build(1, None)
+        outcome = engine.run_cycle(1)
+        program = builder.build(2, outcome)
+        assert program.control.graph_diff is None
+        assert not program.control.invalidation.first_writers
+
+    def test_sgt_control_is_larger(self):
+        _, _, engine_a, builder_a = make_world()
+        reqs = BroadcastRequirements(needs_sgt=True)
+        _, _, engine_b, builder_b = make_world(requirements=reqs)
+        builder_a.build(1, None)
+        builder_b.build(1, None)
+        plain = builder_a.build(2, engine_a.run_cycle(1))
+        sgt = builder_b.build(2, engine_b.run_cycle(1))
+        assert sgt.control.size_units > plain.control.size_units
+
+
+class TestOverflowOrganization:
+    def test_overflow_buckets_at_end(self):
+        reqs = BroadcastRequirements(needs_old_versions=True, organization="overflow")
+        _, _, engine, builder = make_world(requirements=reqs)
+        builder.build(1, None)
+        program = None
+        for cycle in range(1, 4):
+            outcome = engine.run_cycle(cycle)
+            program = builder.build(cycle + 1, outcome)
+        assert program.organization is MultiversionOrganization.OVERFLOW
+        assert program.overflow_buckets
+        # Old version slots come after every data slot.
+        data_end = program.control_slots + len(program.data_buckets)
+        for item in program.items:
+            hit = program.old_version_at(item, 0)
+            if hit is not None:
+                _, slot = hit
+                assert slot >= data_end
+
+    def test_item_positions_fixed_across_cycles(self):
+        reqs = BroadcastRequirements(needs_old_versions=True, organization="overflow")
+        _, _, engine, builder = make_world(requirements=reqs)
+        first = builder.build(1, None)
+        positions = {item: first.slots_of(item) for item in first.items}
+        outcome = engine.run_cycle(1)
+        second = builder.build(2, outcome)
+        if second.control_slots == first.control_slots:
+            for item, slots in positions.items():
+                assert second.slots_of(item) == slots
+
+    def test_old_records_expose_validity(self):
+        reqs = BroadcastRequirements(needs_old_versions=True, organization="overflow")
+        _, db, engine, builder = make_world(requirements=reqs)
+        builder.build(1, None)
+        outcome = engine.run_cycle(1)
+        program = builder.build(2, outcome)
+        for item in outcome.updated_items:
+            hit = program.old_version_at(item, 1)
+            assert hit is not None
+            old, _ = hit
+            assert old.valid_to == 1
+            assert old.value == db.value_at(item, 1).value
+
+
+class TestClusteredOrganization:
+    def test_clustered_versions_ride_with_items(self):
+        reqs = BroadcastRequirements(
+            needs_old_versions=True, organization="clustered"
+        )
+        _, _, engine, builder = make_world(requirements=reqs)
+        builder.build(1, None)
+        outcome = engine.run_cycle(1)
+        program = builder.build(2, outcome)
+        assert program.organization is MultiversionOrganization.CLUSTERED
+        assert not program.overflow_buckets
+        assert program.index_slots > 0
+        for item in outcome.updated_items:
+            hit = program.old_version_at(item, 1)
+            assert hit is not None
+            old, slot = hit
+            # Clustered: the old version rides in the data segment.
+            assert slot < program.control_slots + program.index_slots + len(
+                program.data_buckets
+            )
+
+    def test_clustered_costs_more_slots_than_overflow(self):
+        results = {}
+        for organization in ("clustered", "overflow"):
+            reqs = BroadcastRequirements(
+                needs_old_versions=True, organization=organization
+            )
+            _, _, engine, builder = make_world(requirements=reqs)
+            builder.build(1, None)
+            program = None
+            for cycle in range(1, 4):
+                program = builder.build(cycle + 1, engine.run_cycle(cycle))
+            results[organization] = program.total_slots
+        assert results["clustered"] > results["overflow"]
+
+
+class TestWindowReports:
+    def test_window_retransmits_recent_reports(self):
+        reqs = BroadcastRequirements(report_window=3)
+        _, _, engine, builder = make_world(requirements=reqs)
+        builder.build(1, None)
+        program = None
+        for cycle in range(1, 6):
+            program = builder.build(cycle + 1, engine.run_cycle(cycle))
+        window_cycles = [report.cycle for report in program.control.window]
+        assert window_cycles == [3, 4, 5]
+        assert program.control.missed_window_ok(last_heard=3)
+        assert not program.control.missed_window_ok(last_heard=1)
+
+
+def test_old_versions_requested_without_store_rejected():
+    params = ServerParameters(broadcast_size=10, update_range=10, updates_per_cycle=2)
+    db = Database(10)
+    with pytest.raises(ValueError):
+        ProgramBuilder(
+            params,
+            db,
+            requirements=BroadcastRequirements(needs_old_versions=True),
+        )

@@ -1,0 +1,89 @@
+"""Tests for the versioned database and its snapshot semantics."""
+
+import pytest
+
+from repro.graph.sgraph import TxnId
+from repro.server.database import Database
+
+
+@pytest.fixture
+def db():
+    return Database(10)
+
+
+def test_initial_state(db):
+    assert db.size == 10
+    assert list(db.items()) == list(range(1, 11))
+    for item in db.items():
+        version = db.current(item)
+        assert version.cycle == 0
+        assert version.value == 0
+        assert version.writer is None
+
+
+def test_size_must_be_positive():
+    with pytest.raises(ValueError):
+        Database(0)
+
+
+def test_write_appends_version(db):
+    writer = TxnId(1, 0)
+    version = db.write(3, visible_cycle=2, writer=writer)
+    assert version.value == 1
+    assert version.cycle == 2
+    assert db.current(3) is version
+    assert db.current(3).writer == writer
+
+
+def test_write_monotonicity_enforced(db):
+    db.write(3, visible_cycle=5, writer=TxnId(4, 0))
+    with pytest.raises(ValueError):
+        db.write(3, visible_cycle=4, writer=TxnId(3, 0))
+
+
+def test_same_cycle_overwrites_allowed(db):
+    db.write(3, visible_cycle=2, writer=TxnId(1, 0))
+    db.write(3, visible_cycle=2, writer=TxnId(1, 1))
+    chain = db.chain_of(3)
+    assert [v.value for v in chain] == [0, 1, 2]
+    assert db.current(3).writer == TxnId(1, 1)
+
+
+def test_value_at_returns_visible_version(db):
+    db.write(3, visible_cycle=2, writer=TxnId(1, 0))
+    db.write(3, visible_cycle=5, writer=TxnId(4, 0))
+    assert db.value_at(3, 1).value == 0
+    assert db.value_at(3, 2).value == 1
+    assert db.value_at(3, 4).value == 1
+    assert db.value_at(3, 5).value == 2
+    assert db.value_at(3, 99).value == 2
+
+
+def test_snapshot_is_consistent_cut(db):
+    db.write(1, visible_cycle=2, writer=TxnId(1, 0))
+    db.write(2, visible_cycle=3, writer=TxnId(2, 0))
+    snap = db.snapshot(2)
+    assert snap[1].value == 1
+    assert snap[2].value == 0
+    assert len(snap) == 10
+
+
+def test_unknown_item_rejected(db):
+    with pytest.raises(KeyError):
+        db.current(11)
+    with pytest.raises(KeyError):
+        db.write(0, visible_cycle=1, writer=TxnId(0, 0))
+
+
+def test_was_updated_between(db):
+    db.write(4, visible_cycle=3, writer=TxnId(2, 0))
+    assert db.was_updated_between(4, 3, 3)
+    assert db.was_updated_between(4, 1, 5)
+    assert not db.was_updated_between(4, 4, 9)
+    assert not db.was_updated_between(5, 0, 99)
+
+
+def test_chain_of_is_a_copy(db):
+    chain = db.chain_of(1)
+    chain.append("garbage")
+    assert len(db.chain_of(1)) == 1

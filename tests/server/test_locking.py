@@ -1,0 +1,130 @@
+"""Tests for the strict-2PL lock manager."""
+
+import pytest
+
+from repro.server.locking import LockManager, LockMode, LockOutcome
+
+
+@pytest.fixture
+def lm():
+    return LockManager()
+
+
+class TestBasicGranting:
+    def test_shared_locks_coexist(self, lm):
+        assert lm.acquire("a", 1, LockMode.SHARED) is LockOutcome.GRANTED
+        assert lm.acquire("b", 1, LockMode.SHARED) is LockOutcome.GRANTED
+        assert lm.holds("a", 1) and lm.holds("b", 1)
+        lm.assert_consistent()
+
+    def test_exclusive_excludes_everyone(self, lm):
+        assert lm.acquire("a", 1, LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+        assert lm.acquire("b", 1, LockMode.SHARED) is LockOutcome.BLOCKED
+        assert lm.acquire("c", 1, LockMode.EXCLUSIVE) is LockOutcome.BLOCKED
+        assert lm.waiters_of(1) == ["b", "c"]
+        lm.assert_consistent()
+
+    def test_reacquisition_is_idempotent(self, lm):
+        lm.acquire("a", 1, LockMode.SHARED)
+        assert lm.acquire("a", 1, LockMode.SHARED) is LockOutcome.GRANTED
+        lm.acquire("a", 2, LockMode.EXCLUSIVE)
+        assert lm.acquire("a", 2, LockMode.SHARED) is LockOutcome.GRANTED
+        assert lm.acquire("a", 2, LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+
+    def test_upgrade_as_sole_holder(self, lm):
+        lm.acquire("a", 1, LockMode.SHARED)
+        assert lm.acquire("a", 1, LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+        assert lm.holds("a", 1, LockMode.EXCLUSIVE)
+
+    def test_upgrade_blocked_by_co_reader(self, lm):
+        lm.acquire("a", 1, LockMode.SHARED)
+        lm.acquire("b", 1, LockMode.SHARED)
+        assert lm.acquire("a", 1, LockMode.EXCLUSIVE) is LockOutcome.BLOCKED
+
+
+class TestFifoFairness:
+    def test_no_overtaking_queued_writers(self, lm):
+        lm.acquire("a", 1, LockMode.SHARED)
+        lm.acquire("w", 1, LockMode.EXCLUSIVE)  # queued
+        # A new reader must not sneak past the queued writer.
+        assert lm.acquire("b", 1, LockMode.SHARED) is LockOutcome.BLOCKED
+
+    def test_release_grants_in_queue_order(self, lm):
+        lm.acquire("a", 1, LockMode.EXCLUSIVE)
+        lm.acquire("b", 1, LockMode.SHARED)
+        lm.acquire("c", 1, LockMode.SHARED)
+        granted = lm.release_all("a")
+        woken = [txn for txn, _item in granted]
+        assert woken == ["b", "c"]  # both readers admitted together
+        assert lm.holds("b", 1) and lm.holds("c", 1)
+        lm.assert_consistent()
+
+    def test_writer_waits_for_all_readers(self, lm):
+        lm.acquire("r1", 1, LockMode.SHARED)
+        lm.acquire("r2", 1, LockMode.SHARED)
+        lm.acquire("w", 1, LockMode.EXCLUSIVE)
+        assert lm.release_all("r1") == []
+        granted = lm.release_all("r2")
+        assert ("w", 1) in granted
+        assert lm.holds("w", 1, LockMode.EXCLUSIVE)
+
+
+class TestDeadlocks:
+    def test_two_party_deadlock_detected(self, lm):
+        lm.acquire("a", 1, LockMode.EXCLUSIVE)
+        lm.acquire("b", 2, LockMode.EXCLUSIVE)
+        assert lm.acquire("a", 2, LockMode.EXCLUSIVE) is LockOutcome.BLOCKED
+        # b -> a on item 1 would close the cycle: b is the victim.
+        assert lm.acquire("b", 1, LockMode.EXCLUSIVE) is LockOutcome.DEADLOCK
+        lm.assert_consistent()
+
+    def test_victim_restart_unblocks_the_survivor(self, lm):
+        lm.acquire("a", 1, LockMode.EXCLUSIVE)
+        lm.acquire("b", 2, LockMode.EXCLUSIVE)
+        assert lm.acquire("a", 2, LockMode.EXCLUSIVE) is LockOutcome.BLOCKED
+        assert lm.acquire("b", 1, LockMode.EXCLUSIVE) is LockOutcome.DEADLOCK
+        # The victim releases everything it held; the survivor advances.
+        granted = lm.release_all("b")
+        assert ("a", 2) in granted
+        assert lm.holds("a", 2, LockMode.EXCLUSIVE)
+        # The restarted victim queues behind the survivor and proceeds
+        # once it commits.
+        assert lm.acquire("b", 1, LockMode.EXCLUSIVE) is LockOutcome.BLOCKED
+        granted = lm.release_all("a")
+        assert ("b", 1) in granted
+        lm.assert_consistent()
+
+    def test_three_party_cycle_detected(self, lm):
+        lm.acquire("a", 1, LockMode.EXCLUSIVE)
+        lm.acquire("b", 2, LockMode.EXCLUSIVE)
+        lm.acquire("c", 3, LockMode.EXCLUSIVE)
+        assert lm.acquire("a", 2, LockMode.EXCLUSIVE) is LockOutcome.BLOCKED
+        assert lm.acquire("b", 3, LockMode.EXCLUSIVE) is LockOutcome.BLOCKED
+        assert lm.acquire("c", 1, LockMode.EXCLUSIVE) is LockOutcome.DEADLOCK
+        lm.assert_consistent()
+
+    def test_read_read_never_deadlocks(self, lm):
+        lm.acquire("a", 1, LockMode.SHARED)
+        lm.acquire("b", 2, LockMode.SHARED)
+        assert lm.acquire("a", 2, LockMode.SHARED) is LockOutcome.GRANTED
+        assert lm.acquire("b", 1, LockMode.SHARED) is LockOutcome.GRANTED
+
+
+class TestReleaseSemantics:
+    def test_release_all_is_strict(self, lm):
+        lm.acquire("a", 1, LockMode.EXCLUSIVE)
+        lm.acquire("a", 2, LockMode.SHARED)
+        lm.release_all("a")
+        assert not lm.holds("a", 1)
+        assert not lm.holds("a", 2)
+        assert lm.holders_of(1) == {}
+
+    def test_release_removes_queued_requests(self, lm):
+        lm.acquire("a", 1, LockMode.EXCLUSIVE)
+        lm.acquire("b", 1, LockMode.EXCLUSIVE)
+        lm.release_all("b")  # b gives up while queued
+        assert lm.waiters_of(1) == []
+        assert lm.release_all("a") == []
+
+    def test_release_unknown_txn_is_noop(self, lm):
+        assert lm.release_all("ghost") == []

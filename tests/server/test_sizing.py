@@ -1,0 +1,119 @@
+"""Tests for the analytic broadcast-size model (Figure 7)."""
+
+import pytest
+
+from repro.config import ServerParameters
+from repro.server.sizing import SizeBreakdown, SizeModel
+
+
+@pytest.fixture
+def model():
+    return SizeModel(ServerParameters())
+
+
+def test_base_size_is_data_only(model):
+    base = model.base()
+    assert base.data_units == 1000 * 6
+    assert base.control_units == 0
+    assert base.total_units == 6000
+    assert model.increase_percent(base) == 0.0
+
+
+def test_breakdown_bucket_rounding():
+    breakdown = SizeBreakdown(data_units=61, control_units=0)
+    assert breakdown.buckets(60) == 2
+
+
+def test_invalidation_report_size_linear_in_updates(model):
+    small = model.invalidation_only(50)
+    large = model.invalidation_only(500)
+    assert small.control_units == 50
+    assert large.control_units == 500
+    assert model.increase_percent(large) == pytest.approx(
+        10 * model.increase_percent(small)
+    )
+
+
+def test_invalidation_only_near_one_percent_at_paper_point(model):
+    # The paper's Table 1 quotes ~1% for U=50; exact value depends on the
+    # key/data ratio, ours is 50/6000.
+    assert model.increase_percent(model.invalidation_only(50)) == pytest.approx(
+        0.83, abs=0.05
+    )
+
+
+def test_multiversion_grows_with_span(model):
+    sizes = [
+        model.multiversion_overflow(50, span).total_units for span in (2, 4, 8)
+    ]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_multiversion_span_one_has_no_old_versions(model):
+    breakdown = model.multiversion_overflow(50, 1)
+    assert breakdown.overflow_units == 0
+
+
+def test_clustered_pays_index_overflow_does_not(model):
+    clustered = model.multiversion_clustered(50, 3)
+    overflow = model.multiversion_overflow(50, 3)
+    assert clustered.index_units > 0
+    assert overflow.index_units == 0
+    # The per-cycle index makes the clustered organization bigger.
+    assert clustered.total_units > overflow.total_units
+
+
+def test_sgt_grows_with_server_activity():
+    quiet = SizeModel(ServerParameters(updates_per_cycle=50))
+    busy = SizeModel(ServerParameters(updates_per_cycle=500))
+    assert (
+        busy.sgt(500, 3).total_units > quiet.sgt(50, 3).total_units
+    )
+
+
+def test_mv_caching_between_invalidation_and_multiversion(model):
+    inval = model.increase_percent(model.invalidation_only(50))
+    mvc = model.increase_percent(model.multiversion_caching(50, 3))
+    mv = model.increase_percent(model.multiversion_overflow(50, 3))
+    assert inval < mvc < mv
+
+
+def test_figure7_row_contains_all_schemes(model):
+    row = model.figure7_row(updates=50, span=3)
+    assert set(row) == {
+        "invalidation_only",
+        "multiversion_clustered",
+        "multiversion_overflow",
+        "sgt",
+        "multiversion_caching",
+    }
+    assert all(value >= 0 for value in row.values())
+
+
+def test_paper_table1_ordering_at_operating_point(model):
+    """Table 1's size row ordering: inval < mv-caching < sgt < multiversion."""
+    row = model.figure7_row(updates=50, span=3)
+    assert (
+        row["invalidation_only"]
+        < row["multiversion_caching"]
+        < row["sgt"]
+        < row["multiversion_overflow"]
+        < row["multiversion_clustered"]
+    )
+
+
+def test_field_widths(model):
+    assert model.version_bits(8) == 3.0
+    assert model.tid_bits() == pytest.approx(3.32, abs=0.01)  # log2(10)
+    assert model.tid_with_cycle_bits(8) == model.tid_bits() + 3.0
+
+
+def test_bits_per_unit_validation():
+    with pytest.raises(ValueError):
+        SizeModel(ServerParameters(), bits_per_unit=0)
+
+
+def test_coarser_units_shrink_tag_overhead():
+    fine = SizeModel(ServerParameters(), bits_per_unit=8)
+    coarse = SizeModel(ServerParameters(), bits_per_unit=64)
+    assert fine.sgt(50, 3).total_units > coarse.sgt(50, 3).total_units

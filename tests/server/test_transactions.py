@@ -1,0 +1,186 @@
+"""Tests for the server transaction engine: workload shape, conflict
+bookkeeping, and Claim 1 (edges never point backwards in commit order)."""
+
+import random
+
+import pytest
+
+from repro.config import ServerParameters
+from repro.graph.sgraph import TxnId
+from repro.server.database import Database
+from repro.server.transactions import ServerTransaction, TransactionEngine
+from repro.server.versions import VersionStore
+
+
+def make_engine(keep_history=False, version_store=False, **overrides):
+    defaults = dict(
+        broadcast_size=50,
+        update_range=30,
+        offset=5,
+        updates_per_cycle=10,
+        transactions_per_cycle=5,
+        theta=0.95,
+    )
+    defaults.update(overrides)
+    params = ServerParameters(**defaults)
+    db = Database(params.broadcast_size)
+    store = VersionStore(db, retention=4) if version_store else None
+    engine = TransactionEngine(
+        params,
+        db,
+        version_store=store,
+        rng=random.Random(99),
+        keep_history=keep_history,
+    )
+    return engine, db, store
+
+
+class TestServerTransaction:
+    def test_writeset_must_be_subset_of_readset(self):
+        with pytest.raises(ValueError):
+            ServerTransaction(
+                tid=TxnId(1, 0),
+                readset=frozenset({1}),
+                writeset=frozenset({1, 2}),
+            )
+
+
+class TestWorkloadShape:
+    def test_transaction_count_per_cycle(self):
+        engine, _, _ = make_engine()
+        outcome = engine.run_cycle(1)
+        assert len(outcome.transactions) == 5
+        assert [t.tid.seq for t in outcome.transactions] == list(range(5))
+        assert all(t.tid.cycle == 1 for t in outcome.transactions)
+
+    def test_reads_four_times_updates(self):
+        engine, _, _ = make_engine()
+        outcome = engine.run_cycle(1)
+        for txn in outcome.transactions:
+            assert len(txn.writeset) == 2  # 10 updates / 5 transactions
+            assert len(txn.readset) == 8  # 4x
+            assert txn.writeset <= txn.readset
+
+    def test_updates_fall_in_offset_range(self):
+        engine, _, _ = make_engine(offset=5)
+        updated = set()
+        for cycle in range(1, 6):
+            updated |= engine.run_cycle(cycle).updated_items
+        # Update range is 1..30 rotated by 5: items 6..35.
+        assert updated <= set(range(6, 36))
+
+    def test_updated_items_is_union_of_writesets(self):
+        engine, _, _ = make_engine()
+        outcome = engine.run_cycle(1)
+        union = set()
+        for txn in outcome.transactions:
+            union |= txn.writeset
+        assert outcome.updated_items == frozenset(union)
+
+
+class TestDatabaseEffects:
+    def test_writes_visible_next_cycle(self):
+        engine, db, _ = make_engine()
+        outcome = engine.run_cycle(3)
+        for item in outcome.updated_items:
+            assert db.current(item).cycle == 4
+            assert db.value_at(item, 3).value != db.current(item).value
+
+    def test_version_store_receives_supersedures(self):
+        engine, db, store = make_engine(version_store=True)
+        outcome = engine.run_cycle(1)
+        retained = [item for item in outcome.updated_items if store.on_air(item)]
+        assert retained, "updates must park old versions"
+        for item in retained:
+            [rv] = store.on_air(item)
+            assert rv.valid_to == 1  # old value current through cycle 1
+
+    def test_same_cycle_double_write_retains_single_old_version(self):
+        engine, db, store = make_engine(version_store=True)
+        # Run several cycles; items written twice in one cycle must not
+        # park their intermediate (never-broadcast) values.
+        for cycle in range(1, 5):
+            engine.run_cycle(cycle)
+        for item, rvs in store.all_on_air().items():
+            values = [rv.version.value for rv in rvs]
+            assert len(set(values)) == len(values)
+            for rv in rvs:
+                # Every retained version was actually current at some
+                # cycle: its validity interval is non-empty.
+                assert rv.valid_from <= rv.valid_to
+
+
+class TestConflictBookkeeping:
+    def test_first_writers_are_from_this_cycle(self):
+        engine, _, _ = make_engine()
+        outcome = engine.run_cycle(1)
+        assert set(outcome.first_writers) == set(outcome.updated_items)
+        for item, tid in outcome.first_writers.items():
+            assert tid.cycle == 1
+
+    def test_first_writer_is_earliest_seq(self):
+        engine, _, _ = make_engine()
+        outcome = engine.run_cycle(1)
+        for item, first in outcome.first_writers.items():
+            writers = [
+                t.tid for t in outcome.transactions if item in t.writeset
+            ]
+            assert first == min(writers)
+
+    def test_diff_edges_point_to_new_commits(self):
+        engine, _, _ = make_engine()
+        engine.run_cycle(1)
+        outcome = engine.run_cycle(2)
+        for u, v in outcome.diff.edges:
+            assert v.cycle == 2
+            assert u.cycle <= v.cycle
+
+    def test_claim1_no_backward_edges(self):
+        """Claim 1: no edges into earlier-cycle subgraphs -- commit order
+        and conflict order agree under strict execution."""
+        engine, _, _ = make_engine()
+        for cycle in range(1, 8):
+            engine.run_cycle(cycle)
+        for u, v in engine.graph.edges():
+            assert (u.cycle, u.seq) < (v.cycle, v.seq)
+
+    def test_server_graph_is_acyclic(self):
+        engine, _, _ = make_engine()
+        for cycle in range(1, 8):
+            engine.run_cycle(cycle)
+        assert not engine.graph.has_cycle()
+
+    def test_history_is_serializable(self):
+        engine, _, _ = make_engine(keep_history=True)
+        for cycle in range(1, 6):
+            engine.run_cycle(cycle)
+        assert engine.history.is_serializable()
+
+    def test_history_graph_edges_superset_of_diffs(self):
+        """Every diff edge must be a genuine conflict in the history."""
+        engine, _, _ = make_engine(keep_history=True)
+        outcomes = [engine.run_cycle(c) for c in range(1, 5)]
+        full = engine.history.serialization_graph()
+        for outcome in outcomes:
+            for u, v in outcome.diff.edges:
+                assert full.has_edge(u, v)
+
+    def test_last_writer_of_tracks_current_writer(self):
+        engine, db, _ = make_engine()
+        for cycle in range(1, 4):
+            engine.run_cycle(cycle)
+        for item in range(1, 51):
+            expected = db.current(item).writer
+            assert engine.last_writer_of(item) == expected
+
+    def test_prune_graph_bounds_memory(self):
+        engine, _, _ = make_engine()
+        for cycle in range(1, 10):
+            engine.run_cycle(cycle)
+        before = len(engine.graph)
+        removed = engine.prune_graph_before(8)
+        assert removed > 0
+        assert len(engine.graph) == before - removed
+        assert all(
+            engine.graph.cycle_of(node) >= 8 for node in engine.graph.nodes()
+        )

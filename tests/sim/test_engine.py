@@ -1,0 +1,160 @@
+"""Tests for the DES kernel's environment and run loop."""
+
+import pytest
+
+from repro.sim import Environment, Event
+from repro.sim.engine import EmptySchedule
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(3)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert fired == [3.0]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    log = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+            log.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+    assert log == [1.0, 2.0, 3.0]
+
+
+def test_run_until_boundary_excludes_events_at_stop_time():
+    env = Environment()
+    log = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+            log.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=3)
+    # The event at t=3 has not run: `until` stops before same-time events.
+    assert log == [1.0, 2.0]
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.process(iter_one(env))
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def iter_one(env):
+    yield env.timeout(1)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def trigger(env, event):
+        yield env.timeout(2)
+        event.succeed("payload")
+
+    event = env.event()
+    env.process(trigger(env, event))
+    assert env.run(until=event) == "payload"
+
+
+def test_run_drains_queue_and_returns_none():
+    env = Environment()
+    env.process(iter_one(env))
+    assert env.run() is None
+    assert env.queue_length == 0
+
+
+def test_step_on_empty_schedule_raises():
+    with pytest.raises(EmptySchedule):
+        Environment().step()
+
+
+def test_run_until_event_never_triggered_raises():
+    env = Environment()
+    event = env.event()
+    env.process(iter_one(env))
+    with pytest.raises(RuntimeError):
+        env.run(until=event)
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1)
+        order.append(name)
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.process(proc(env, "c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.process(iter_one(env))
+    # Bootstrap Initialize event is at t=0.
+    assert env.peek() == 0.0
+
+
+def test_peek_empty_queue_is_infinite():
+    assert Environment().peek() == float("inf")
+
+
+def test_unhandled_process_failure_crashes_run():
+    env = Environment()
+
+    def exploder(env):
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    env.process(exploder(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_nested_run_calls_resume_after_stop():
+    env = Environment()
+    log = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+            log.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=2.5)
+    env.run(until=4.5)
+    assert log == [1.0, 2.0, 3.0, 4.0]

@@ -1,0 +1,79 @@
+"""Tests for time-series instrumentation."""
+
+import pytest
+
+from repro.sim import Environment, Monitor, TimeSeries
+
+
+def test_timeseries_records_and_iterates():
+    ts = TimeSeries("queue")
+    ts.record(0.0, 1)
+    ts.record(1.0, 3)
+    assert len(ts) == 2
+    assert list(ts) == [(0.0, 1), (1.0, 3)]
+    assert ts.times == [0.0, 1.0]
+    assert ts.values == [1, 3]
+    assert ts.last == 3
+
+
+def test_timeseries_rejects_out_of_order_times():
+    ts = TimeSeries()
+    ts.record(5.0, 1)
+    with pytest.raises(ValueError):
+        ts.record(4.0, 2)
+
+
+def test_timeseries_mean_and_extrema():
+    ts = TimeSeries()
+    for t, v in enumerate([4, 6, 8]):
+        ts.record(float(t), v)
+    assert ts.mean() == 6
+    assert ts.minimum() == 4
+    assert ts.maximum() == 8
+    assert ts.stdev() == 2.0
+
+
+def test_timeseries_time_weighted_mean_step_function():
+    ts = TimeSeries()
+    ts.record(0.0, 10)  # holds for 2 units
+    ts.record(2.0, 0)  # holds for 8 units
+    assert ts.time_weighted_mean(until=10.0) == pytest.approx(2.0)
+
+
+def test_timeseries_time_weighted_mean_zero_span_returns_last():
+    ts = TimeSeries()
+    ts.record(1.0, 7)
+    assert ts.time_weighted_mean() == 7
+
+
+def test_timeseries_empty_statistics_raise():
+    ts = TimeSeries("empty")
+    for method in (ts.mean, ts.minimum, ts.maximum, ts.time_weighted_mean):
+        with pytest.raises(ValueError):
+            method()
+    assert ts.last is None
+    assert ts.stdev() == 0.0
+
+
+def test_monitor_observes_at_simulation_time():
+    env = Environment()
+    mon = Monitor(env)
+
+    def proc(env):
+        mon.observe("load", 1)
+        yield env.timeout(3)
+        mon.observe("load", 2)
+
+    env.process(proc(env))
+    env.run()
+    assert list(mon["load"]) == [(0.0, 1), (3.0, 2)]
+
+
+def test_monitor_names_and_get():
+    env = Environment()
+    mon = Monitor(env)
+    mon.observe("b", 1)
+    mon.observe("a", 1)
+    assert mon.names() == ["a", "b"]
+    assert "a" in mon
+    assert mon.get("zzz") is None

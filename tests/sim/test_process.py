@@ -1,0 +1,207 @@
+"""Tests for generator-based processes: waiting, returning, interrupting."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_return_value_propagates_to_waiter():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(1)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    env.process(parent(env))
+    env.run()
+    assert results == [42]
+
+
+def test_process_is_alive_until_generator_exits():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5)
+
+    proc = env.process(child(env))
+    env.run(until=2)
+    assert proc.is_alive
+    env.run(until=10)
+    assert not proc.is_alive
+
+
+def test_timeout_value_passed_through_yield():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_interrupt_raises_inside_process_with_cause():
+    env = Environment()
+    caught = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            caught.append((interrupt.cause, env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt(cause="disconnect")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert caught == [("disconnect", 3.0)]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(2)
+        log.append(("resumed", env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 1.0), ("resumed", 3.0)]
+
+
+def test_interrupting_terminated_process_is_an_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    errors = []
+
+    def selfish(env):
+        yield env.timeout(1)
+        try:
+            env.active_process.interrupt()
+        except RuntimeError as exc:
+            errors.append(str(exc))
+
+    env.process(selfish(env))
+    env.run()
+    assert len(errors) == 1
+
+
+def test_exception_in_child_propagates_to_waiting_parent():
+    env = Environment()
+    caught = []
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(parent(env))
+    env.run()
+    assert caught == ["child failed"]
+
+
+def test_yielding_non_event_fails_the_process():
+    env = Environment()
+
+    def bad(env):
+        yield "not an event"
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="not an Event"):
+        env.run()
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.process("nope")
+
+
+def test_already_processed_event_resumes_immediately():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        timeout = env.timeout(1)
+        yield env.timeout(5)  # let the first timeout become processed
+        value = yield timeout  # must not deadlock
+        log.append((value, env.now))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(None, 5.0)]
+
+
+def test_interrupt_detaches_from_pending_target():
+    """After an interrupt, the original target event must not resume the
+    process a second time when it eventually fires."""
+    env = Environment()
+    resumed = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            pass
+        yield env.timeout(100)
+        resumed.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run(until=50)
+    # The original t=10 timeout fired, but must not have resumed sleeper.
+    assert resumed == []
+    env.run(until=150)
+    assert resumed == [101.0]
+
+
+def test_process_name_comes_from_generator():
+    env = Environment()
+
+    def my_little_process(env):
+        yield env.timeout(1)
+
+    proc = env.process(my_little_process(env))
+    assert proc.name == "my_little_process"
+    env.run()

@@ -1,0 +1,150 @@
+"""Tests for Resource and Store contention primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    grants = []
+
+    def user(env, res, name, hold):
+        with res.request() as req:
+            yield req
+            grants.append((name, env.now))
+            yield env.timeout(hold)
+
+    res = Resource(env, capacity=2)
+    env.process(user(env, res, "a", 5))
+    env.process(user(env, res, "b", 5))
+    env.process(user(env, res, "c", 5))
+    env.run()
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_fifo_queueing():
+    env = Environment()
+    order = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    res = Resource(env, capacity=1)
+    for name in "abcd":
+        env.process(user(env, res, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_count_and_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holder = res.request()
+    waiter = res.request()
+    env.run()
+    assert res.count == 1
+    assert res.queue == [waiter]
+    res.release(holder)
+    env.run()
+    assert res.count == 1  # waiter got the slot
+    assert res.queue == []
+
+
+def test_resource_release_of_waiting_request_cancels_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holder = res.request()
+    waiter = res.request()
+    env.run()
+    res.release(waiter)  # cancel while still queued
+    res.release(holder)
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_store_put_get_fifo():
+    env = Environment()
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store = Store(env)
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer(env, store):
+        yield env.timeout(4)
+        yield store.put("late")
+
+    store = Store(env)
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("late", 4.0)]
+
+
+def test_store_put_blocks_when_full():
+    env = Environment()
+    log = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            log.append(("put", i, env.now))
+
+    def consumer(env, store):
+        yield env.timeout(5)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    store = Store(env, capacity=2)
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    # The third put had to wait for the consumer at t=5.
+    assert ("put", 2, 5.0) in log
+
+
+def test_store_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_handoff_to_waiting_getter_bypasses_buffer():
+    env = Environment()
+    store = Store(env, capacity=1)
+    getter = store.get()
+    env.run()
+    store.put("direct")
+    env.run()
+    assert getter.value == "direct"
+    assert len(store.items) == 0

@@ -1,0 +1,64 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.stats.metrics import Counter, MetricsRegistry
+
+
+def test_counter_increments():
+    c = Counter("x")
+    c.increment()
+    c.increment(4)
+    assert c.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").increment(-1)
+
+
+def test_registry_creates_on_first_use():
+    reg = MetricsRegistry()
+    assert reg.get_counter("a") is None
+    reg.count("a")
+    assert reg.get_counter("a").value == 1
+    assert reg.counter("a") is reg.counter("a")
+
+
+def test_registry_sampler_and_ratio():
+    reg = MetricsRegistry()
+    reg.observe("lat", 2.0)
+    reg.observe("lat", 4.0)
+    reg.record_outcome("ok", True)
+    reg.record_outcome("ok", False)
+    assert reg.sampler("lat").mean == 3.0
+    assert reg.ratio("ok").ratio == 0.5
+
+
+def test_registry_snapshot_flattens_everything():
+    reg = MetricsRegistry()
+    reg.count("c", 3)
+    reg.observe("s", 1.5)
+    reg.record_outcome("r", True)
+    snap = reg.snapshot()
+    assert snap["c.count"] == 3.0
+    assert snap["s.mean"] == 1.5
+    assert snap["s.n"] == 1.0
+    assert snap["r.ratio"] == 1.0
+
+
+def test_registry_snapshot_skips_empty_series():
+    reg = MetricsRegistry()
+    reg.sampler("never_observed")
+    reg.ratio("never_recorded")
+    assert reg.snapshot() == {}
+
+
+def test_registry_iteration_views():
+    reg = MetricsRegistry()
+    reg.count("a")
+    reg.observe("b", 1.0)
+    reg.record_outcome("c", True)
+    assert dict(reg.counters())["a"].value == 1
+    assert "b" in dict(reg.samplers())
+    assert "c" in dict(reg.ratios())

@@ -1,0 +1,138 @@
+"""Tests for online statistics accumulators against first-principles."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.online import OnlineStats, RatioEstimator
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOnlineStats:
+    def test_known_example(self):
+        s = OnlineStats()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            s.add(x)
+        assert s.count == 8
+        assert s.mean == 5.0
+        assert s.population_variance == pytest.approx(4.0)
+        assert s.minimum == 2.0
+        assert s.maximum == 9.0
+
+    def test_empty_statistics_raise(self):
+        s = OnlineStats()
+        for prop in ("mean", "population_variance", "minimum", "maximum"):
+            with pytest.raises(ValueError):
+                getattr(s, prop)
+        with pytest.raises(ValueError):
+            s.confidence_interval()
+
+    def test_single_observation(self):
+        s = OnlineStats()
+        s.add(3.0)
+        assert s.mean == 3.0
+        assert s.sample_variance == 0.0
+        assert s.stdev == 0.0
+        lo, hi = s.confidence_interval()
+        assert lo == hi == 3.0
+
+    @given(values=st.lists(finite_floats, min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_property_matches_statistics_module(self, values):
+        s = OnlineStats()
+        for v in values:
+            s.add(v)
+        assert s.mean == pytest.approx(statistics.fmean(values), abs=1e-6, rel=1e-9)
+        assert s.sample_variance == pytest.approx(
+            statistics.variance(values), abs=1e-4, rel=1e-6
+        )
+
+    @given(
+        a=st.lists(finite_floats, min_size=1, max_size=50),
+        b=st.lists(finite_floats, min_size=1, max_size=50),
+    )
+    @settings(max_examples=50)
+    def test_property_merge_equals_concatenation(self, a, b):
+        sa, sb, sall = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in a:
+            sa.add(v)
+            sall.add(v)
+        for v in b:
+            sb.add(v)
+            sall.add(v)
+        merged = sa.merge(sb)
+        assert merged.count == sall.count
+        assert merged.mean == pytest.approx(sall.mean, abs=1e-6, rel=1e-9)
+        assert merged.sample_variance == pytest.approx(
+            sall.sample_variance, abs=1e-4, rel=1e-6
+        )
+        assert merged.minimum == sall.minimum
+        assert merged.maximum == sall.maximum
+
+    def test_merge_with_empty(self):
+        s = OnlineStats()
+        s.add(1.0)
+        merged = s.merge(OnlineStats())
+        assert merged.count == 1
+        assert merged.mean == 1.0
+        assert OnlineStats().merge(OnlineStats()).count == 0
+
+    def test_confidence_interval_narrows_with_samples(self):
+        small, large = OnlineStats(), OnlineStats()
+        for i in range(10):
+            small.add(i % 3)
+        for i in range(1000):
+            large.add(i % 3)
+        small_width = small.confidence_interval()[1] - small.confidence_interval()[0]
+        large_width = large.confidence_interval()[1] - large.confidence_interval()[0]
+        assert large_width < small_width
+
+    def test_repr_smoke(self):
+        s = OnlineStats()
+        assert "empty" in repr(s)
+        s.add(1.0)
+        assert "n=1" in repr(s)
+
+
+class TestRatioEstimator:
+    def test_basic_ratio(self):
+        r = RatioEstimator()
+        for outcome in [True, True, False, True]:
+            r.record(outcome)
+        assert r.ratio == 0.75
+        assert r.complement == 0.25
+        assert r.hits == 3
+        assert r.total == 4
+
+    def test_record_many(self):
+        r = RatioEstimator()
+        r.record_many(7, 10)
+        assert r.ratio == 0.7
+
+    def test_record_many_validates(self):
+        with pytest.raises(ValueError):
+            RatioEstimator().record_many(5, 3)
+
+    def test_empty_ratio_raises(self):
+        with pytest.raises(ValueError):
+            _ = RatioEstimator().ratio
+
+    def test_merge(self):
+        a, b = RatioEstimator(), RatioEstimator()
+        a.record_many(1, 2)
+        b.record_many(3, 4)
+        merged = a.merge(b)
+        assert merged.hits == 4
+        assert merged.total == 6
+
+    def test_repr_smoke(self):
+        r = RatioEstimator()
+        assert "empty" in repr(r)
+        r.record(True)
+        assert "1/1" in repr(r)
