@@ -99,6 +99,15 @@ class BroadcastChannel:
         """Absolute delivery time of cycle-relative ``slot`` this cycle."""
         return self._cycle_start_time + slot + 0.5
 
+    def prefetch_time(self, slot: int) -> float:
+        """When a cache autoprefetch armed on ``slot`` obtains its value.
+
+        On the perfect channel this equals :meth:`delivery_time`; a faulty
+        channel returns ``inf`` for slots the client will not receive, so
+        the prefetch never materializes (see :mod:`repro.faults`).
+        """
+        return self.delivery_time(slot)
+
     def relative_now(self) -> float:
         """Time since the current cycle started."""
         return self.env.now - self._cycle_start_time

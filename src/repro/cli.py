@@ -72,6 +72,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run server transactions under the real 2PL lock manager",
     )
+    fault = run.add_argument_group(
+        "fault injection", "degrade the air interface (see repro.faults)"
+    )
+    fault.add_argument(
+        "--slot-loss", type=float, default=0.0, help="per-slot loss probability"
+    )
+    fault.add_argument(
+        "--burst-loss", type=float, default=0.0, help="burst (fade) start probability"
+    )
+    fault.add_argument(
+        "--burst-length", type=float, default=4.0, help="mean burst length in slots"
+    )
+    fault.add_argument(
+        "--control-loss",
+        type=float,
+        default=0.0,
+        help="control-bucket corruption probability",
+    )
+    fault.add_argument(
+        "--truncation", type=float, default=0.0, help="cycle-truncation probability"
+    )
+    fault.add_argument(
+        "--report-delay",
+        type=float,
+        default=0.0,
+        help="late control-decode probability",
+    )
+    fault.add_argument(
+        "--storm-rate",
+        type=float,
+        default=0.0,
+        help="per-cycle disconnect-storm start probability",
+    )
+    fault.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault RNG seed (default: derived from --seed)",
+    )
     run.add_argument(
         "--verify",
         action="store_true",
@@ -110,6 +149,16 @@ def _params_from(args: argparse.Namespace) -> ModelParameters:
             num_clients=args.clients,
             seed=args.seed,
         )
+        .with_faults(
+            slot_loss=args.slot_loss,
+            burst_rate=args.burst_loss,
+            burst_length=args.burst_length,
+            control_loss=args.control_loss,
+            truncation=args.truncation,
+            report_delay=args.report_delay,
+            storm_rate=args.storm_rate,
+            seed=args.fault_seed,
+        )
     )
 
 
@@ -140,6 +189,9 @@ def _command_run(args: argparse.Namespace) -> int:
     for name, counter in sorted(result.metrics.counters()):
         if name.startswith("abort."):
             rows.append([name, str(counter.value)])
+    if params.faults.active:
+        for name, value in sorted(result.metrics.fault_summary().items()):
+            rows.append([name, str(value)])
     print(render_table(["measure", "value"], rows, title="simulation result"))
 
     if args.verify:

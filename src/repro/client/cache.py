@@ -122,22 +122,27 @@ class ClientCache:
         report = program.control.invalidation
         for item in report.updated_items:
             entry = self._current.get(item)
-            if entry is None or not entry.is_current:
-                continue
-            # The value stopped being current at the end of the previous
-            # cycle: close its validity interval.
-            entry.valid_to = report.cycle - 1
-            if self.multiversion:
-                self._demote(entry)
-                del self._current[item]
+            if entry is not None and entry.is_current:
+                # The value stopped being current at the end of the
+                # previous cycle: close its validity interval.
+                entry.valid_to = report.cycle - 1
+                if self.multiversion:
+                    self._demote(entry)
+                    del self._current[item]
+            elif entry is None and item not in self._pending:
+                continue  # nothing held for this item
             # Autoprefetch: grab the new value when its bucket flies by.
+            # A pending refresh from an earlier update is *re-armed* with
+            # this cycle's record -- its old record is superseded and must
+            # never materialize as current (it would serve a stale value).
             try:
                 slot = program.slots_of(item)[0]
             except KeyError:  # pragma: no cover - item left the broadcast
+                self._pending.pop(item, None)
                 continue
             self._pending[item] = _PendingRefresh(
                 record=program.record_of(item),
-                at_time=channel.delivery_time(slot),
+                at_time=channel.prefetch_time(slot),
             )
 
     def apply_missed_report(self, report) -> None:
@@ -149,6 +154,10 @@ class ClientCache:
         next demand read refreshes the entry off the air.
         """
         for item in report.updated_items:
+            # Any in-flight autoprefetch for this item was armed before the
+            # missed cycle, so its record is superseded by this report and
+            # must never materialize as current.
+            self._pending.pop(item, None)
             entry = self._current.get(item)
             if entry is None or not entry.is_current:
                 continue
@@ -156,7 +165,6 @@ class ClientCache:
             if self.multiversion:
                 self._demote(entry)
                 del self._current[item]
-            self._pending.pop(item, None)
 
     def clear(self) -> None:
         """Drop everything -- the client lost track of updates and cannot

@@ -69,6 +69,23 @@ class RandomDisconnections(DisconnectionModel):
         return True
 
 
+class UnionDisconnections(DisconnectionModel):
+    """Deaf whenever *any* member model is deaf.
+
+    Composes independent outage causes -- e.g. a client's own battery
+    behaviour (:class:`RandomDisconnections`) with a cell-wide disconnect
+    storm from the fault layer.  Every member is consulted every cycle
+    (no short-circuiting) so each model's RNG stream advances identically
+    regardless of what the others decide.
+    """
+
+    def __init__(self, models) -> None:
+        self.models = [model for model in models if model is not None]
+
+    def is_listening(self, cycle: int) -> bool:
+        return all([model.is_listening(cycle) for model in self.models])
+
+
 class ScheduledDisconnections(DisconnectionModel):
     """Deterministic outage windows -- used by tests and examples.
 

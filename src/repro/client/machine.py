@@ -27,6 +27,7 @@ from repro.core.transaction import (
     TransactionStatus,
 )
 from repro.sim.engine import Environment
+from repro.stats import metrics as metric_names
 from repro.stats.metrics import MetricsRegistry
 
 
@@ -84,6 +85,11 @@ class BroadcastClient:
         self.listening = True
         self.last_heard_cycle = 0
         self.missed_cycles = 0
+        #: Was the current deaf spell caused by the fault layer (lost or
+        #: corrupted control info) rather than the disconnection model?
+        self._fault_desynced = False
+        #: The attempt currently executing, for fault-abort attribution.
+        self._current_txn: Optional[ReadOnlyTransaction] = None
         self._txn_counter = 0
         #: Every finished attempt, in completion order (the correctness
         #: oracle in the test suite replays these against the database).
@@ -99,14 +105,13 @@ class BroadcastClient:
     def on_cycle_start(self, program: BroadcastProgram) -> None:
         cycle = program.cycle
         if not self.disconnect.is_listening(cycle):
-            if self.listening:
-                self.metrics.count("client.disconnections")
-            self.listening = False
-            self.missed_cycles += 1
-            self.scheme.on_missed_cycle(cycle)
+            self._miss_cycle(cycle, fault=False)
             return
         if not self.listening:
             self._resynchronize(program)
+            if self._fault_desynced:
+                self.metrics.count(metric_names.FAULT_RECOVERIES)
+                self._fault_desynced = False
         self.listening = True
         self.last_heard_cycle = cycle
         if self.cache is not None:
@@ -117,6 +122,34 @@ class BroadcastClient:
         """Forward a mid-cycle report to the scheme (if listening)."""
         if self.listening:
             self.scheme.on_interim_report(report)
+
+    def on_signal_lost(self, cycle: int) -> None:
+        """The fault layer dropped this cycle's control information.
+
+        Without the report nothing heard this cycle can be validated, so
+        the cycle counts as missed -- the same conservative degrade as a
+        disconnection, which reuses the resynchronization path (and its
+        safety argument) on the next heard cycle.
+        """
+        self._miss_cycle(cycle, fault=True)
+
+    def _miss_cycle(self, cycle: int, fault: bool) -> None:
+        if self.listening and not fault:
+            self.metrics.count("client.disconnections")
+        self.listening = False
+        self.missed_cycles += 1
+        if fault:
+            self._fault_desynced = True
+        txn = self._current_txn
+        was_active = txn is not None and txn.status is TransactionStatus.ACTIVE
+        self.scheme.on_missed_cycle(cycle)
+        if (
+            fault
+            and was_active
+            and txn is not None
+            and txn.status is TransactionStatus.ABORTED
+        ):
+            self.metrics.count(metric_names.FAULT_FORCED_ABORTS)
 
     def _resynchronize(self, program: BroadcastProgram) -> None:
         """Reconnect after missed cycles: the cache cannot be trusted.
@@ -176,6 +209,7 @@ class BroadcastClient:
         )
 
     def _attempt(self, txn: ReadOnlyTransaction) -> Generator:
+        self._current_txn = txn
         self.scheme.begin(txn)
         try:
             for item in txn.items:
@@ -199,6 +233,7 @@ class BroadcastClient:
                 txn.abort(aborted.reason, self.env.now, self.channel.current_cycle)
         finally:
             self.scheme.end(txn)
+            self._current_txn = None
         return txn
 
     def _raise_if_doomed(self, txn: ReadOnlyTransaction) -> None:

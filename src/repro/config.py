@@ -133,6 +133,85 @@ class ClientParameters:
 
 
 @dataclass(frozen=True)
+class FaultParameters:
+    """Air-interface fault injection (no analogue in the paper's model).
+
+    All-zero defaults mean a perfect channel -- the seed behaviour.  Any
+    positive knob activates the fault layer (:mod:`repro.faults`), which
+    degrades what each *client* receives; the server and its schedule are
+    never touched, so the scalability property survives injection.
+    """
+
+    #: Independent per-slot bucket loss probability (control slots too).
+    slot_loss: float = 0.0
+    #: Per-slot probability that a loss burst (fade) starts.
+    burst_rate: float = 0.0
+    #: Mean length of a loss burst, in slots.
+    burst_length: float = 4.0
+    #: Probability the control bucket fails its checksum and is dropped.
+    control_loss: float = 0.0
+    #: Probability a cycle's tail is truncated (never transmitted).
+    truncation: float = 0.0
+    #: Earliest truncation point, as a fraction of the cycle.
+    truncation_min_fraction: float = 0.5
+    #: Probability the control segment decodes late.
+    report_delay: float = 0.0
+    #: Maximum control decode delay, in slots.
+    report_max_delay: float = 4.0
+    #: Per-cycle probability that a cell-wide disconnect storm starts.
+    storm_rate: float = 0.0
+    #: Mean storm duration, in cycles.
+    storm_length: float = 2.0
+    #: Fraction of clients inside a storm's footprint.
+    storm_participation: float = 0.8
+    #: Fault RNG seed; ``None`` derives one from the simulation seed,
+    #: keeping the workload RNG stream untouched either way.
+    seed: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        """Does any knob actually inject faults?"""
+        return any(
+            p > 0
+            for p in (
+                self.slot_loss,
+                self.burst_rate,
+                self.control_loss,
+                self.truncation,
+                self.report_delay,
+                self.storm_rate,
+            )
+        )
+
+    def validate(self) -> None:
+        for name in (
+            "slot_loss",
+            "burst_rate",
+            "control_loss",
+            "truncation",
+            "report_delay",
+            "storm_rate",
+            "storm_participation",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= self.truncation_min_fraction < 1.0:
+            raise ValueError(
+                "truncation_min_fraction must be in [0, 1), got "
+                f"{self.truncation_min_fraction}"
+            )
+        if self.burst_length < 1.0:
+            raise ValueError(f"burst_length must be >= 1, got {self.burst_length}")
+        if self.report_max_delay < 1.0:
+            raise ValueError(
+                f"report_max_delay must be >= 1, got {self.report_max_delay}"
+            )
+        if self.storm_length < 1.0:
+            raise ValueError(f"storm_length must be >= 1, got {self.storm_length}")
+
+
+@dataclass(frozen=True)
 class SimulationParameters:
     """Run-control knobs (not part of the paper's model)."""
 
@@ -160,11 +239,13 @@ class ModelParameters:
     server: ServerParameters = field(default_factory=ServerParameters)
     client: ClientParameters = field(default_factory=ClientParameters)
     sim: SimulationParameters = field(default_factory=SimulationParameters)
+    faults: FaultParameters = field(default_factory=FaultParameters)
 
     def validate(self) -> None:
         self.server.validate()
         self.client.validate()
         self.sim.validate()
+        self.faults.validate()
         if self.client.read_range > self.server.broadcast_size:
             raise ValueError(
                 "client read_range cannot exceed broadcast_size "
@@ -181,6 +262,9 @@ class ModelParameters:
 
     def with_sim(self, **kwargs) -> "ModelParameters":
         return replace(self, sim=replace(self.sim, **kwargs))
+
+    def with_faults(self, **kwargs) -> "ModelParameters":
+        return replace(self, faults=replace(self.faults, **kwargs))
 
 
 DEFAULTS = ModelParameters()

@@ -1,7 +1,9 @@
-"""Run the complete experiment harness: every figure and table.
+"""Run the experiment harness: every figure and table, or one by name.
 
-    python -m repro.experiments          # full profile (paper scale)
-    python -m repro.experiments --quick  # reduced profile (minutes)
+    python -m repro.experiments                  # everything, full profile
+    python -m repro.experiments --quick          # everything, reduced profile
+    python -m repro.experiments faults           # one experiment by name
+    python -m repro.experiments faults --quick   # ... at the reduced profile
 """
 
 from __future__ import annotations
@@ -10,24 +12,50 @@ import sys
 import time
 
 from repro.experiments import FULL_PROFILE, QUICK_PROFILE
-from repro.experiments import fig5, fig6, fig7, fig8, retention, scalability, table1
+from repro.experiments import (
+    faults,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    retention,
+    scalability,
+    table1,
+)
+
+#: Name -> module with a ``main(profile)`` entry point, in run order.
+EXPERIMENTS = {
+    "fig7": fig7,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig8": fig8,
+    "table1": table1,
+    "scalability": scalability,
+    "retention": retention,
+    "faults": faults,
+}
 
 
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     profile = QUICK_PROFILE if "--quick" in args else FULL_PROFILE
     label = "quick" if profile is QUICK_PROFILE else "full"
+    names = [a for a in args if not a.startswith("-")]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(EXPERIMENTS)
+        print(f"Unknown experiment(s): {', '.join(unknown)}; known: {known}")
+        return 2
+    selected = names or list(EXPERIMENTS)
+
     start = time.time()
-    print(f"Running every experiment at the {label} profile\n")
-
-    fig7.main()
-    fig5.main(profile)
-    fig6.main(profile)
-    fig8.main(profile)
-    table1.main(profile)
-    scalability.main(profile)
-    retention.main(profile)
-
+    print(f"Running {', '.join(selected)} at the {label} profile\n")
+    for name in selected:
+        module = EXPERIMENTS[name]
+        if name == "fig7":
+            module.main()  # analytic; no simulation profile
+        else:
+            module.main(profile)
     print(f"All experiments done in {time.time() - start:.0f}s")
     return 0
 

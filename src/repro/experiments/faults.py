@@ -1,0 +1,128 @@
+"""Fault sweep: abort rate vs. bucket-loss probability per scheme.
+
+The paper's performance model assumes a perfect downstream channel; this
+experiment asks how gracefully each processing scheme degrades when the
+air interface loses buckets (:mod:`repro.faults`).  Every scheme stays
+*correct* under loss -- the oracle suite pins that down -- so the whole
+cost of an imperfect channel shows up in these performance curves:
+
+* the invalidation-driven schemes abort more as loss grows, because a
+  lost control segment dooms every active query (the conservative
+  degrade of §5.2.2 applied to faults);
+* multiversion broadcast keeps accepting transactions but pays latency,
+  since lost buckets force a retry on the next repetition or cycle.
+
+Writes ``results/faults_abort_vs_loss.csv`` (one column per scheme) plus
+a fault-counter summary so runs can be compared across revisions.
+
+    python -m repro.experiments faults [--quick]
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.render import render_sweep, render_table, sweep_to_csv
+from repro.experiments.runner import (
+    ExperimentProfile,
+    FULL_PROFILE,
+    SweepResult,
+    run_point,
+)
+from repro.experiments.schemes import scheme_factory
+from repro.runtime import Simulation
+from repro.stats.metrics import FAULT_COUNTERS
+
+#: Per-slot loss probabilities swept (0 = the perfect-channel baseline).
+LOSS_SWEEP: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2)
+
+#: The four processing schemes of the paper, one per family.
+FAULT_SCHEMES: Sequence[str] = (
+    "inval",
+    "versioned-cache",
+    "multiversion",
+    "mv-caching",
+)
+
+#: Where the CSV artifacts land, relative to the working directory.
+RESULTS_DIR = Path("results")
+
+
+def run_loss_sweep(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    loss_sweep: Sequence[float] = LOSS_SWEEP,
+) -> SweepResult:
+    """Abort rate vs. independent per-slot loss probability.
+
+    Slot loss hits control slots too, so higher loss also means more
+    whole cycles missed; the fault seed is pinned per simulation seed, so
+    every scheme faces the *same* loss schedule at each x.
+    """
+    sweep = SweepResult(
+        name="Faults: abort rate vs. slot loss probability",
+        x_label="slot_loss",
+        xs=[float(p) for p in loss_sweep],
+        y_label="abort rate",
+    )
+    for name in schemes:
+        factory = scheme_factory(name)
+        for p in loss_sweep:
+            point_params = params.with_faults(slot_loss=p)
+            point = run_point(point_params, factory, profile, label=name)
+            sweep.add_point(name, point, point.abort_rate)
+    return sweep
+
+
+def fault_counter_rows(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    slot_loss: float = 0.1,
+):
+    """One summary row of fault counters per scheme at a fixed loss rate."""
+    rows = []
+    for name in schemes:
+        factory = scheme_factory(name)
+        point_params = profile.apply(
+            params.with_faults(slot_loss=slot_loss), profile.seeds[0]
+        )
+        sim = Simulation(point_params, scheme_factory=factory)
+        result = sim.run()
+        summary = result.metrics.fault_summary()
+        rows.append(
+            [name]
+            + [str(summary[counter]) for counter in FAULT_COUNTERS]
+            + [f"{result.abort_rate:.3f}"]
+        )
+    return rows
+
+
+def write_csv(sweep: SweepResult, filename: str = "faults_abort_vs_loss.csv") -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(sweep_to_csv(sweep))
+    return path
+
+
+def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
+    sweep = run_loss_sweep(profile)
+    print(render_sweep(sweep))
+    path = write_csv(sweep)
+    print(f"Wrote {path}\n")
+    headers = ["scheme"] + [c.removeprefix("fault.") for c in FAULT_COUNTERS] + [
+        "abort_rate"
+    ]
+    rows = fault_counter_rows(profile)
+    print(
+        render_table(
+            headers, rows, title="Fault counters at slot_loss=0.1 (first seed)"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

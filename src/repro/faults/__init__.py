@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the broadcast channel.
+
+The seed simulator models a perfect, lossless air interface; this
+package degrades it on purpose.  Seeded, composable fault models
+(:mod:`repro.faults.models`) are folded into a per-client
+:class:`~repro.faults.channel.FaultyChannel` by the
+:class:`~repro.faults.injector.FaultInjector`, which
+:class:`~repro.runtime.Simulation` wires in whenever
+``ModelParameters.faults`` is active.
+
+The load-bearing invariant -- enforced by
+``tests/integration/test_fault_oracle.py`` -- is that every scheme
+degrades *safely*: a client that misses control information may abort or
+fall back conservatively, but a committed readset always passes the
+ground-truth oracle of :mod:`repro.verify`.
+"""
+
+from repro.faults.channel import FaultyChannel
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    BurstLoss,
+    ControlCorruption,
+    CycleFate,
+    FaultModel,
+    ReportDelay,
+    SlotLoss,
+    StormDisconnections,
+    TruncatedCycle,
+    build_pipeline,
+    compute_storm_windows,
+)
+
+__all__ = [
+    "BurstLoss",
+    "ControlCorruption",
+    "CycleFate",
+    "FaultInjector",
+    "FaultModel",
+    "FaultyChannel",
+    "ReportDelay",
+    "SlotLoss",
+    "StormDisconnections",
+    "TruncatedCycle",
+    "build_pipeline",
+    "compute_storm_windows",
+]

@@ -1,0 +1,76 @@
+"""Simulation-level wiring of the fault subsystem.
+
+One :class:`FaultInjector` per simulation owns the fault RNG tree: a
+master seed (``FaultParameters.seed``, or derived from the simulation
+seed) feeds the shared storm schedule and one independent sub-seed per
+client, so
+
+* the same parameters and seed reproduce the exact same fault pattern
+  (the determinism regression test pins this down), and
+* the workload RNG stream (client queries, server updates) is untouched:
+  a faulty run and its fault-free twin process *identical* workloads,
+  which is what makes abort-vs-loss curves differential rather than
+  noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.broadcast.channel import BroadcastChannel
+from repro.client.disconnect import DisconnectionModel
+from repro.config import FaultParameters, SimulationParameters
+from repro.faults.channel import FaultyChannel
+from repro.faults.models import (
+    StormDisconnections,
+    build_pipeline,
+    compute_storm_windows,
+)
+from repro.stats.metrics import MetricsRegistry
+
+#: Offset mixed into the simulation seed when no explicit fault seed is
+#: given, so fault randomness never collides with the workload stream.
+_SEED_SALT = 0x5EED_FA17
+
+
+class FaultInjector:
+    """Builds per-client faulty channels and storm disconnection models."""
+
+    def __init__(
+        self,
+        faults: FaultParameters,
+        sim: SimulationParameters,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.faults = faults
+        self.metrics = metrics
+        seed = faults.seed if faults.seed is not None else sim.seed ^ _SEED_SALT
+        self._rng = random.Random(seed)
+        self.storm_windows: List = []
+        if faults.storm_rate > 0:
+            self.storm_windows = compute_storm_windows(
+                random.Random(self._rng.getrandbits(64)),
+                sim.num_cycles,
+                faults.storm_rate,
+                faults.storm_length,
+            )
+
+    def wrap(self, channel: BroadcastChannel, client_id: int) -> FaultyChannel:
+        """A fresh lossy view of ``channel`` for one client."""
+        pipeline = build_pipeline(
+            self.faults, random.Random(self._rng.getrandbits(64))
+        )
+        return FaultyChannel(channel, pipeline, self.metrics)
+
+    def disconnections_for(self, client_id: int) -> Optional[DisconnectionModel]:
+        """This client's share of the storm schedule (``None`` if no
+        storms are configured)."""
+        if not self.storm_windows:
+            return None
+        return StormDisconnections(
+            self.storm_windows,
+            self.faults.storm_participation,
+            random.Random(self._rng.getrandbits(64)),
+            metrics=self.metrics,
+        )

@@ -25,8 +25,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.broadcast.channel import BroadcastChannel
 from repro.broadcast.schedule import Schedule
-from repro.client.disconnect import DisconnectionModel
+from repro.client.disconnect import DisconnectionModel, UnionDisconnections
 from repro.client.machine import BroadcastClient
+from repro.faults.injector import FaultInjector
 from repro.config import ModelParameters
 from repro.core.base import Scheme
 from repro.core.control import (
@@ -154,6 +155,11 @@ class Simulation:
 
         # -- air interface and clients ------------------------------------------
         self.channel = BroadcastChannel(self.env)
+        self.fault_injector: Optional[FaultInjector] = None
+        if params.faults.active:
+            self.fault_injector = FaultInjector(
+                params.faults, params.sim, self.metrics
+            )
         self.clients: List[BroadcastClient] = []
         for client_id, scheme in enumerate(self.schemes):
             disconnect = None
@@ -161,10 +167,20 @@ class Simulation:
                 disconnect = disconnect_factory(
                     random.Random(self._rng.getrandbits(64))
                 )
+            client_channel: BroadcastChannel = self.channel
+            if self.fault_injector is not None:
+                client_channel = self.fault_injector.wrap(self.channel, client_id)
+                storm = self.fault_injector.disconnections_for(client_id)
+                if storm is not None:
+                    disconnect = (
+                        storm
+                        if disconnect is None
+                        else UnionDisconnections([disconnect, storm])
+                    )
             self.clients.append(
                 BroadcastClient(
                     env=self.env,
-                    channel=self.channel,
+                    channel=client_channel,
                     scheme=scheme,
                     params=params.client,
                     metrics=self.metrics,

@@ -52,24 +52,31 @@ class _Plan:
 
     def __init__(self, txn: ServerTransaction, rng: random.Random) -> None:
         self.txn = txn
-        reads = list(txn.readset)
-        rng.shuffle(reads)
+        self._rng = rng
+        self.ops: List[Tuple[OpType, int, LockMode]] = self._make_ops()
+        self.cursor = 0
+        self.restarts = 0
+
+    def _make_ops(self) -> List[Tuple[OpType, int, LockMode]]:
         # Read-before-write (the paper's standing assumption): all reads
         # first, then the writes in key order.  Reads of items that will
         # later be written take an exclusive lock immediately (the classic
         # update-lock discipline) -- lock *upgrades* under contention
         # stall behind queued waiters in a way the waits-for graph cannot
         # see, so they are avoided rather than resolved.
-        self.ops: List[Tuple[OpType, int, LockMode]] = [
+        reads = list(self.txn.readset)
+        self._rng.shuffle(reads)
+        return [
             (
                 OpType.READ,
                 item,
-                LockMode.EXCLUSIVE if item in txn.writeset else LockMode.SHARED,
+                LockMode.EXCLUSIVE if item in self.txn.writeset else LockMode.SHARED,
             )
             for item in reads
-        ] + [(OpType.WRITE, item, LockMode.EXCLUSIVE) for item in sorted(txn.writeset)]
-        self.cursor = 0
-        self.restarts = 0
+        ] + [
+            (OpType.WRITE, item, LockMode.EXCLUSIVE)
+            for item in sorted(self.txn.writeset)
+        ]
 
     @property
     def finished(self) -> bool:
@@ -80,8 +87,16 @@ class _Plan:
         return self.ops[self.cursor]
 
     def restart(self) -> None:
+        """Start over with a *reshuffled* read order.
+
+        Replaying the identical acquisition order lets the same waits-for
+        cycle re-form indefinitely (two symmetric victims can ping-pong
+        until the step budget runs out); a fresh shuffle breaks the
+        symmetry, so repeated livelock has vanishing probability.
+        """
         self.cursor = 0
         self.restarts += 1
+        self.ops = self._make_ops()
 
 
 class InterleavedExecutor:

@@ -6,6 +6,37 @@ from typing import Dict, ItemsView, Optional
 
 from repro.stats.online import OnlineStats, RatioEstimator
 
+# -- canonical fault-injection metric names (see repro.faults) -------------
+
+#: Data buckets that never reached a client (per client, summed).
+FAULT_SLOTS_LOST = "fault.slots_lost"
+#: Cycles whose control segment a client could not decode.
+FAULT_REPORTS_MISSED = "fault.reports_missed"
+#: Cycles whose control segment decoded late (client synced mid-cycle).
+FAULT_REPORTS_DELAYED = "fault.reports_delayed"
+#: Cycles cut short by a truncation fault.
+FAULT_CYCLES_TRUNCATED = "fault.cycles_truncated"
+#: Reads that tuned into a slot and received noise (retried).
+FAULT_READS_LOST = "fault.reads_lost"
+#: Resynchronizations after a fault-induced missed cycle.
+FAULT_RECOVERIES = "fault.recoveries"
+#: Active transactions doomed by a fault-induced missed cycle.
+FAULT_FORCED_ABORTS = "fault.forced_aborts"
+#: Client-side outages caused by disconnect storms.
+FAULT_STORM_OUTAGES = "fault.storm_outages"
+
+#: Every fault counter, for summaries and CSV columns.
+FAULT_COUNTERS = (
+    FAULT_SLOTS_LOST,
+    FAULT_REPORTS_MISSED,
+    FAULT_REPORTS_DELAYED,
+    FAULT_CYCLES_TRUNCATED,
+    FAULT_READS_LOST,
+    FAULT_RECOVERIES,
+    FAULT_FORCED_ABORTS,
+    FAULT_STORM_OUTAGES,
+)
+
 
 class Counter:
     """A monotonically increasing named counter."""
@@ -98,6 +129,15 @@ class MetricsRegistry:
 
     def get_ratio(self, name: str) -> Optional[RatioEstimator]:
         return self._ratios.get(name)
+
+    def fault_summary(self) -> Dict[str, int]:
+        """All fault-injection counters (zero when no fault ever fired)."""
+        return {
+            name: (
+                self._counters[name].value if name in self._counters else 0
+            )
+            for name in FAULT_COUNTERS
+        }
 
     def snapshot(self) -> Dict[str, float]:
         """Flatten every metric into a plain dict for CSV emission."""

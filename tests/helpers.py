@@ -3,14 +3,20 @@
 The correctness oracles live in the library itself
 (:mod:`repro.verify`) so that examples and downstream users can run
 them; this module re-exports them for the test suite and adds small
-transaction-collection helpers.
+transaction-collection helpers plus the canonical tiny workloads the
+integration tests simulate (one definition instead of per-module
+copies).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Callable, Iterable, List, Optional
 
+from repro.config import ModelParameters
+from repro.core.base import Scheme
 from repro.core.transaction import ReadOnlyTransaction, TransactionStatus
+from repro.experiments.runner import ExperimentProfile
+from repro.runtime import Simulation
 from repro.verify import (  # noqa: F401 -- re-exported for tests
     check_transaction,
     is_serializable_with_server,
@@ -18,6 +24,86 @@ from repro.verify import (  # noqa: F401 -- re-exported for tests
     snapshot_cycle_of,
     violations,
 )
+
+#: The standard tiny world most integration tests simulate: 100 items,
+#: 10 buckets per cycle, moderate update pressure.
+SMALL_WORLD = (
+    ModelParameters()
+    .with_server(
+        broadcast_size=100,
+        update_range=50,
+        offset=10,
+        updates_per_cycle=10,
+        transactions_per_cycle=5,
+        items_per_bucket=10,
+        retention=12,
+    )
+    .with_client(read_range=40, ops_per_query=4, think_time=0.5, cache_size=20)
+)
+
+#: A matching one-seed experiment profile for harness tests.
+TINY_PROFILE = ExperimentProfile(
+    num_cycles=30, warmup_cycles=3, num_clients=3, seeds=(5,)
+)
+
+
+def make_oracle_params(
+    seed: int,
+    offset: int = 0,
+    updates: int = 8,
+    ops: int = 5,
+    num_cycles: int = 25,
+    num_clients: int = 2,
+) -> ModelParameters:
+    """An even smaller, higher-contention world for oracle replays."""
+    return (
+        ModelParameters()
+        .with_server(
+            broadcast_size=60,
+            update_range=30,
+            offset=offset,
+            updates_per_cycle=updates,
+            transactions_per_cycle=3,
+            items_per_bucket=6,
+            retention=10,
+        )
+        .with_client(
+            read_range=30,
+            ops_per_query=ops,
+            think_time=0.5,
+            cache_size=15,
+            max_attempts=4,
+        )
+        .with_sim(
+            num_cycles=num_cycles,
+            warmup_cycles=2,
+            seed=seed,
+            num_clients=num_clients,
+        )
+    )
+
+
+def make_faulty_sim(
+    scheme_factory: Callable[[], Scheme],
+    seed: int = 7,
+    params: Optional[ModelParameters] = None,
+    keep_history: bool = True,
+    **fault_kwargs,
+) -> Simulation:
+    """One small simulation with fault injection switched on.
+
+    ``fault_kwargs`` go straight into :class:`repro.config.FaultParameters`
+    (e.g. ``slot_loss=0.1, control_loss=0.05``); with none, the run is
+    fault-free -- the differential baseline.  ``params`` defaults to
+    :func:`make_oracle_params` at ``seed``, and history is kept so the
+    correctness oracle can replay every commit.
+    """
+    base = params if params is not None else make_oracle_params(seed=seed)
+    return Simulation(
+        base.with_sim(seed=seed).with_faults(**fault_kwargs),
+        scheme_factory=scheme_factory,
+        keep_history=keep_history,
+    )
 
 
 def committed_transactions(clients: Iterable) -> List[ReadOnlyTransaction]:

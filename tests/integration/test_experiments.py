@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.config import ModelParameters
+from helpers import SMALL_WORLD, TINY_PROFILE as TINY
 from repro.experiments import fig5, fig6, fig7, fig8, scalability, table1
 from repro.experiments.render import render_sweep, render_table, sweep_to_csv
 from repro.experiments.runner import (
@@ -15,22 +15,6 @@ from repro.experiments.runner import (
     run_point,
 )
 from repro.experiments.schemes import SCHEME_FACTORIES, scheme_factory
-
-TINY = ExperimentProfile(num_cycles=30, warmup_cycles=3, num_clients=3, seeds=(5,))
-
-SMALL_WORLD = (
-    ModelParameters()
-    .with_server(
-        broadcast_size=100,
-        update_range=50,
-        offset=10,
-        updates_per_cycle=10,
-        transactions_per_cycle=5,
-        items_per_bucket=10,
-        retention=12,
-    )
-    .with_client(read_range=40, ops_per_query=4, think_time=0.5, cache_size=20)
-)
 
 
 class TestRunner:

@@ -3,24 +3,9 @@ the harness entry point."""
 
 import pytest
 
+from helpers import SMALL_WORLD, TINY_PROFILE as TINY
 from repro.config import ModelParameters
 from repro.experiments import retention, tuning
-from repro.experiments.runner import ExperimentProfile
-
-TINY = ExperimentProfile(num_cycles=30, warmup_cycles=3, num_clients=3, seeds=(5,))
-
-SMALL_WORLD = (
-    ModelParameters()
-    .with_server(
-        broadcast_size=100,
-        update_range=50,
-        offset=10,
-        updates_per_cycle=10,
-        transactions_per_cycle=5,
-        items_per_bucket=10,
-    )
-    .with_client(read_range=40, ops_per_query=4, think_time=0.5, cache_size=20)
-)
 
 
 class TestTuningExperiment:

@@ -17,9 +17,9 @@ from hypothesis import strategies as st
 from helpers import (
     committed_transactions,
     is_serializable_with_server,
+    make_oracle_params,
     snapshot_cycle_of,
 )
-from repro.config import ModelParameters
 from repro.core import (
     InvalidationOnly,
     InvalidationWithVersionedCache,
@@ -42,27 +42,8 @@ FACTORIES = {
 }
 
 
-def make_params(seed, offset, updates, ops):
-    return (
-        ModelParameters()
-        .with_server(
-            broadcast_size=60,
-            update_range=30,
-            offset=offset,
-            updates_per_cycle=updates,
-            transactions_per_cycle=3,
-            items_per_bucket=6,
-            retention=10,
-        )
-        .with_client(
-            read_range=30,
-            ops_per_query=ops,
-            think_time=0.5,
-            cache_size=15,
-            max_attempts=4,
-        )
-        .with_sim(num_cycles=25, warmup_cycles=2, seed=seed, num_clients=2)
-    )
+#: One definition for the whole suite now lives in tests/helpers.py.
+make_params = make_oracle_params
 
 
 def assert_all_commits_consistent(sim):
