@@ -219,6 +219,21 @@ class BroadcastProgram:
     def total_old_versions(self) -> int:
         return sum(len(v) for v in self._old_versions.values())
 
+    def slot_breakdown(self) -> Dict[str, int]:
+        """Airtime accounting for one cycle, segment by segment.
+
+        The keys match the fields the tracer attaches to ``cycle.start``
+        events, so ``repro trace airtime`` can be cross-checked against
+        the program that actually flew.
+        """
+        return {
+            "control_slots": self.control_slots,
+            "index_slots": self.index_slots,
+            "data_slots": len(self.data_buckets),
+            "overflow_slots": len(self.overflow_buckets),
+            "slots": self.total_slots,
+        }
+
     def __repr__(self) -> str:
         return (
             f"<BroadcastProgram cycle={self.cycle} slots={self.total_slots} "

@@ -1,6 +1,9 @@
 """Command-line interface: run a simulation from the shell.
 
     python -m repro run --scheme sgt+cache --cycles 120 --clients 4
+    python -m repro run --scheme inval --trace run.jsonl --trace-level read
+    python -m repro trace summarize run.jsonl
+    python -m repro bench --scenario smoke
     python -m repro schemes
     python -m repro sizes --updates 50 --span 3
 
@@ -9,7 +12,13 @@ Subcommands
 ``run``
     One simulation with the chosen scheme and knobs; prints the result
     summary (and, with ``--verify``, replays every committed query
-    against the correctness oracle).
+    against the correctness oracle).  ``--trace FILE`` records a JSONL
+    event trace plus a ``FILE.manifest.json`` provenance record.
+``trace``
+    Analyze a recorded trace: ``summarize``, ``timeline``, ``aborts``,
+    ``airtime``.
+``bench``
+    Throughput/overhead benchmark (see :mod:`repro.obs.bench`).
 ``schemes``
     List the registered scheme labels.
 ``sizes``
@@ -27,17 +36,27 @@ from repro.config import ModelParameters
 from repro.core.control import ReportSchedule
 from repro.experiments.render import render_table
 from repro.experiments.schemes import SCHEME_FACTORIES, scheme_factory
+from repro.obs.analyze import TraceAnalyzer
+from repro.obs.manifest import git_revision, write_manifest
+from repro.obs.trace import JsonlSink, TraceLevel, Tracer
 from repro.runtime import Simulation
 from repro.server.sizing import SizeModel
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Scalable processing of read-only transactions in broadcast "
             "push (Pitoura & Chrysanthis, ICDCS 1999) -- reproduction CLI"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} ({git_revision()})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -116,6 +135,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay every committed query against the correctness oracle",
     )
+    trace_group = run.add_argument_group(
+        "tracing", "record a structured event trace (see repro.obs)"
+    )
+    trace_group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL event trace (plus FILE.manifest.json)",
+    )
+    trace_group.add_argument(
+        "--trace-level",
+        default="query",
+        choices=[level.name.lower() for level in TraceLevel if level > 0],
+        help="trace depth (default: query)",
+    )
+
+    trace = sub.add_parser("trace", help="analyze a recorded JSONL trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    for name, help_text in (
+        ("summarize", "overall event/outcome summary"),
+        ("timeline", "per-transaction event timelines"),
+        ("aborts", "abort counts by reason and by root cause"),
+        ("airtime", "per-segment slot accounting from cycle events"),
+    ):
+        cmd = trace_sub.add_parser(name, help=help_text)
+        cmd.add_argument("file", help="JSONL trace file")
+        if name == "timeline":
+            cmd.add_argument(
+                "--txn", default=None, help="only this transaction id"
+            )
+            cmd.add_argument(
+                "--client", type=int, default=None, help="only this client"
+            )
+            cmd.add_argument(
+                "--limit", type=int, default=10, help="max timelines shown"
+            )
+        if name == "aborts":
+            cmd.add_argument(
+                "--all",
+                action="store_true",
+                help="include warm-up (unmeasured) aborts",
+            )
+
+    bench = sub.add_parser(
+        "bench", help="simulator throughput / tracing-overhead benchmark"
+    )
+    bench.add_argument("--scenario", default="fig5")
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--out", default=None)
+    bench.add_argument("--max-overhead", type=float, default=None)
+    bench.add_argument("--trace-sample", default=None)
 
     sub.add_parser("schemes", help="list scheme labels")
 
@@ -163,18 +233,43 @@ def _params_from(args: argparse.Namespace) -> ModelParameters:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    from repro import __version__
+
     params = _params_from(args)
     schedule = ReportSchedule(
         per_cycle=args.reports_per_cycle, window=args.report_window
     )
+    tracer = None
+    if args.trace:
+        manifest_path = write_manifest(
+            f"{args.trace}.manifest.json",
+            params=params,
+            scheme=args.scheme,
+            extra={"trace": args.trace, "trace_level": args.trace_level},
+        )
+        tracer = Tracer(
+            level=TraceLevel.parse(args.trace_level),
+            sinks=[JsonlSink(args.trace)],
+        )
+        tracer.header(
+            version=__version__,
+            git_rev=git_revision(),
+            scheme=args.scheme,
+            seed=args.seed,
+            manifest=str(manifest_path),
+        )
     sim = Simulation(
         params,
         scheme_factory=scheme_factory(args.scheme),
         report_schedule=schedule,
         keep_history=args.verify,
         interleaved_server=args.interleaved_server,
+        tracer=tracer,
     )
     result = sim.run()
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace}")
 
     rows = [
         ["scheme", result.scheme_label],
@@ -206,6 +301,101 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    analyzer = TraceAnalyzer.from_jsonl(args.file)
+
+    if args.trace_command == "summarize":
+        info = analyzer.summary()
+        rows = [
+            ["events", str(info["events"])],
+            ["cycles", str(info["cycles"])],
+            ["last cycle", str(info["last_cycle"])],
+            ["t range", f"{info['t_min']:.1f} .. {info['t_max']:.1f}"],
+            ["accepted (measured)", f"{info['accepted']} ({info['accepted_measured']})"],
+            ["aborted (measured)", f"{info['aborted']} ({info['aborted_measured']})"],
+        ]
+        header = info["header"]
+        if header:
+            for key in ("version", "git_rev", "scheme", "seed", "level"):
+                if key in header:
+                    rows.append([key, str(header[key])])
+        print(render_table(["measure", "value"], rows, title=f"trace {args.file}"))
+        kind_rows = [
+            [kind, str(count)]
+            for kind, count in sorted(analyzer.kind_counts().items())
+        ]
+        print(render_table(["event kind", "count"], kind_rows))
+        return 0
+
+    if args.trace_command == "timeline":
+        lines = analyzer.timelines(txn=args.txn, client=args.client)
+        if not lines:
+            print("no matching query events in trace")
+            return 1
+        for tid in sorted(lines)[: args.limit]:
+            print(f"{tid}:")
+            for event in lines[tid]:
+                extra = {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("t", "kind", "txn", "client")
+                }
+                print(f"  t={event['t']:<8g} {event['kind']:<14} {extra}")
+        shown = min(len(lines), args.limit)
+        if shown < len(lines):
+            print(f"... {len(lines) - shown} more (raise --limit)")
+        return 0
+
+    if args.trace_command == "aborts":
+        measured_only = not args.all
+        breakdown = analyzer.abort_breakdown(measured_only=measured_only)
+        causes = analyzer.abort_causes(measured_only=measured_only)
+        scope = "measured attempts" if measured_only else "all attempts"
+        rows = [[r, str(n)] for r, n in sorted(breakdown.items())]
+        print(render_table(["reason", "count"], rows, title=f"aborts by reason ({scope})"))
+        rows = [[c, str(n)] for c, n in sorted(causes.items())]
+        print(render_table(["root cause", "count"], rows, title="aborts by root cause"))
+        return 0
+
+    if args.trace_command == "airtime":
+        totals = analyzer.airtime_totals()
+        if not totals["cycles"]:
+            print("no cycle.start events in trace (record at level >= cycle)")
+            return 1
+        rows = [
+            [
+                seg,
+                str(int(totals[seg])),
+                f"{totals[f'{seg}_fraction']:.1%}",
+            ]
+            for seg in ("control", "index", "data", "overflow")
+        ]
+        rows.append(["total", str(int(totals["total"])), "100.0%"])
+        print(
+            render_table(
+                ["segment", "slots", "share"],
+                rows,
+                title=f"airtime over {int(totals['cycles'])} cycles",
+            )
+        )
+        return 0
+
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    argv = ["--scenario", args.scenario, "--repeats", str(args.repeats)]
+    if args.out:
+        argv += ["--out", args.out]
+    if args.max_overhead is not None:
+        argv += ["--max-overhead", str(args.max_overhead)]
+    if args.trace_sample:
+        argv += ["--trace-sample", args.trace_sample]
+    return bench.main(argv)
+
+
 def _command_schemes() -> int:
     for name in sorted(SCHEME_FACTORIES):
         print(name)
@@ -229,8 +419,21 @@ def _command_sizes(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.stderr.close()
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _command_run(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "schemes":
         return _command_schemes()
     if args.command == "sizes":

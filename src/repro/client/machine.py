@@ -26,8 +26,19 @@ from repro.core.transaction import (
     ReadOnlyTransaction,
     TransactionStatus,
 )
+from repro.obs.trace import (
+    EV_CACHE_FLUSH,
+    EV_CLIENT_RESYNC,
+    EV_CONTROL_DECODE,
+    EV_QUERY_ABORT,
+    EV_QUERY_ACCEPT,
+    EV_QUERY_BEGIN,
+    EV_QUERY_READ,
+    Tracer,
+    gate,
+)
 from repro.sim.engine import Environment
-from repro.stats import metrics as metric_names
+from repro.stats import names as metric_names
 from repro.stats.metrics import MetricsRegistry
 
 
@@ -63,6 +74,7 @@ class BroadcastClient:
         disconnect: Optional[DisconnectionModel] = None,
         client_id: int = 0,
         warmup_cycles: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.env = env
         self.channel = channel
@@ -73,6 +85,10 @@ class BroadcastClient:
         self.disconnect = disconnect if disconnect is not None else NeverDisconnected()
         self.client_id = client_id
         self.warmup_cycles = warmup_cycles
+        #: Gated tracer references: ``None`` unless the level covers the
+        #: event class, so the disabled path costs one ``is None`` test.
+        self._trace_q = gate(tracer, "queries")
+        self._trace_r = gate(tracer, "reads")
 
         self.cache: Optional[ClientCache] = None
         if scheme.use_cache and params.cache_size > 0:
@@ -114,6 +130,15 @@ class BroadcastClient:
                 self._fault_desynced = False
         self.listening = True
         self.last_heard_cycle = cycle
+        if self._trace_r is not None:
+            control = program.control
+            self._trace_r.emit(
+                EV_CONTROL_DECODE,
+                client=self.client_id,
+                cycle=cycle,
+                invalidated=len(control.invalidation.updated_items),
+                has_graph_diff=control.graph_diff is not None,
+            )
         if self.cache is not None:
             self.cache.handle_cycle_start(program, self.channel)
         self.scheme.on_cycle_start(program)
@@ -135,7 +160,7 @@ class BroadcastClient:
 
     def _miss_cycle(self, cycle: int, fault: bool) -> None:
         if self.listening and not fault:
-            self.metrics.count("client.disconnections")
+            self.metrics.count(metric_names.CLIENT_DISCONNECTIONS)
         self.listening = False
         self.missed_cycles += 1
         if fault:
@@ -150,6 +175,10 @@ class BroadcastClient:
             and txn.status is TransactionStatus.ABORTED
         ):
             self.metrics.count(metric_names.FAULT_FORCED_ABORTS)
+            # The scheme recorded *what* killed the query (a missed cycle);
+            # record *why* the cycle was missed so the chain bottoms out at
+            # the injected fault.
+            txn.cause_chain.append({"event": "fault_forced", "cycle": cycle})
 
     def _resynchronize(self, program: BroadcastProgram) -> None:
         """Reconnect after missed cycles: the cache cannot be trusted.
@@ -161,7 +190,14 @@ class BroadcastClient:
         """
         if self.cache is None:
             return
-        self.metrics.count("client.resyncs")
+        self.metrics.count(metric_names.CLIENT_RESYNCS)
+        if self._trace_q is not None:
+            self._trace_q.emit(
+                EV_CLIENT_RESYNC,
+                client=self.client_id,
+                cycle=program.cycle,
+                last_heard=self.last_heard_cycle,
+            )
         control = program.control
         if control.missed_window_ok(self.last_heard_cycle):
             for missed in range(self.last_heard_cycle + 1, program.cycle):
@@ -170,7 +206,14 @@ class BroadcastClient:
                     self.cache.apply_missed_report(report)
         else:
             self.cache.clear()
-            self.metrics.count("client.cache_drops")
+            self.metrics.count(metric_names.CLIENT_CACHE_DROPS)
+            if self._trace_q is not None:
+                self._trace_q.emit(
+                    EV_CACHE_FLUSH,
+                    client=self.client_id,
+                    cycle=program.cycle,
+                    reason="resync_window_exceeded",
+                )
 
     # -- the client loop ---------------------------------------------------------
 
@@ -188,16 +231,64 @@ class BroadcastClient:
         while attempts < self.params.max_attempts and not committed:
             attempts += 1
             txn = self._new_transaction(query)
+            if self._trace_q is not None:
+                self._trace_q.emit(
+                    EV_QUERY_BEGIN,
+                    client=self.client_id,
+                    txn=txn.txn_id,
+                    cycle=txn.start_cycle,
+                    items=list(txn.items),
+                    attempt=attempts,
+                    measured=measured,
+                )
             yield from self._attempt(txn)
             self.completed.append(txn)
             committed = txn.status is TransactionStatus.COMMITTED
+            if self._trace_q is not None:
+                self._emit_outcome(txn, attempts, measured)
             if measured:
                 self._record_attempt(txn)
         if measured:
-            self.metrics.record_outcome("query.completed", committed)
-            self.metrics.observe("query.attempts", attempts)
+            self.metrics.record_outcome(metric_names.QUERY_COMPLETED, committed)
+            self.metrics.observe(metric_names.QUERY_ATTEMPTS, attempts)
             if self.cache is not None:
-                self.metrics.observe("cache.hit_ratio", self.cache.hit_ratio)
+                self.metrics.observe(
+                    metric_names.CACHE_HIT_RATIO, self.cache.hit_ratio
+                )
+
+    def _emit_outcome(
+        self, txn: ReadOnlyTransaction, attempt: int, measured: bool
+    ) -> None:
+        """Emit the accept/abort event for one finished attempt.
+
+        The ``measured`` flag is the same one gating the metrics path, so
+        ``TraceAnalyzer.abort_breakdown(measured_only=True)`` agrees with
+        the ``abort.*`` counters exactly.
+        """
+        tracer = self._trace_q
+        assert tracer is not None
+        if txn.status is TransactionStatus.COMMITTED:
+            tracer.emit(
+                EV_QUERY_ACCEPT,
+                client=self.client_id,
+                txn=txn.txn_id,
+                cycle=txn.end_cycle,
+                attempt=attempt,
+                measured=measured,
+                span=txn.span,
+            )
+        else:
+            reason = txn.abort_reason or AbortReason.INVALIDATED
+            tracer.emit(
+                EV_QUERY_ABORT,
+                client=self.client_id,
+                txn=txn.txn_id,
+                cycle=txn.end_cycle,
+                attempt=attempt,
+                measured=measured,
+                reason=reason.value,
+                cause=list(txn.cause_chain),
+            )
 
     def _new_transaction(self, query: Query) -> ReadOnlyTransaction:
         self._txn_counter += 1
@@ -225,12 +316,27 @@ class BroadcastClient:
                 result = yield from self.scheme.read(txn, item)
                 self._raise_if_doomed(txn)
                 txn.record_read(result)
+                if self._trace_r is not None:
+                    self._trace_r.emit(
+                        EV_QUERY_READ,
+                        client=self.client_id,
+                        txn=txn.txn_id,
+                        item=result.item,
+                        version=result.version,
+                        cycle=result.read_cycle,
+                        from_cache=result.from_cache,
+                    )
             self._raise_if_doomed(txn)
             self.scheme.finish(txn)
             txn.commit(self.env.now, self.channel.current_cycle)
         except ReadAborted as aborted:
             if txn.status is not TransactionStatus.ABORTED:
-                txn.abort(aborted.reason, self.env.now, self.channel.current_cycle)
+                txn.abort(
+                    aborted.reason,
+                    self.env.now,
+                    self.channel.current_cycle,
+                    cause=aborted.cause,
+                )
         finally:
             self.scheme.end(txn)
             self._current_txn = None
@@ -249,22 +355,25 @@ class BroadcastClient:
 
     def _record_attempt(self, txn: ReadOnlyTransaction) -> None:
         committed = txn.status is TransactionStatus.COMMITTED
-        self.metrics.record_outcome("attempt.committed", committed)
+        self.metrics.record_outcome(metric_names.ATTEMPT_COMMITTED, committed)
         if committed:
-            self.metrics.observe("txn.latency_cycles", txn.latency_cycles)
             self.metrics.observe(
-                "txn.latency_slots", (txn.end_time or 0.0) - txn.start_time
+                metric_names.TXN_LATENCY_CYCLES, txn.latency_cycles
             )
-            self.metrics.observe("txn.span", txn.span)
+            self.metrics.observe(
+                metric_names.TXN_LATENCY_SLOTS,
+                (txn.end_time or 0.0) - txn.start_time,
+            )
+            self.metrics.observe(metric_names.TXN_SPAN, txn.span)
             cache_reads = sum(1 for r in txn.reads.values() if r.from_cache)
-            self.metrics.observe("txn.cache_reads", cache_reads)
+            self.metrics.observe(metric_names.TXN_CACHE_READS, cache_reads)
             state_cycle = self.scheme.state_cycle(txn)
             if state_cycle is not None and txn.end_cycle is not None:
                 # Currency (Table 1): how far behind the commit-time state
                 # the transaction's consistent view is.
                 self.metrics.observe(
-                    "txn.currency_lag", txn.end_cycle - state_cycle
+                    metric_names.TXN_CURRENCY_LAG, txn.end_cycle - state_cycle
                 )
         else:
             reason = txn.abort_reason or AbortReason.INVALIDATED
-            self.metrics.count(f"abort.{reason.value}")
+            self.metrics.count(metric_names.abort_metric(reason.value))

@@ -10,7 +10,7 @@ paper's scalability property, and the test suite asserts it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Generator, Mapping, Optional, Tuple
 
 from repro.broadcast.program import BroadcastProgram, ItemRecord
 from repro.core.control import BroadcastRequirements
@@ -26,11 +26,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ReadAborted(Exception):
-    """Raised inside :meth:`Scheme.read` when the attempt must abort."""
+    """Raised inside :meth:`Scheme.read` when the attempt must abort.
 
-    def __init__(self, reason: AbortReason, detail: str = "") -> None:
+    ``cause`` is an optional machine-readable record of what doomed the
+    read (item, cycle, writer, ...); the client machine appends it to
+    the transaction's cause chain so traced aborts are attributable.
+    """
+
+    def __init__(
+        self,
+        reason: AbortReason,
+        detail: str = "",
+        cause: Optional[Mapping[str, Any]] = None,
+    ) -> None:
         super().__init__(detail or reason.value)
         self.reason = reason
+        self.cause = dict(cause) if cause is not None else None
 
 
 class ReadContext:

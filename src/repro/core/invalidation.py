@@ -34,6 +34,23 @@ class Granularity(enum.Enum):
     BUCKET = "bucket"
 
 
+def _invalidation_cause(
+    report_cycle: int,
+    granularity: Granularity,
+    hit: frozenset,
+    interim: bool = False,
+):
+    """Cause-chain entry for an invalidation-report abort."""
+    cause = {
+        "event": "invalidation",
+        "report_cycle": report_cycle,
+        ("pages" if granularity is Granularity.BUCKET else "items"): sorted(hit),
+    }
+    if interim:
+        cause["interim"] = True
+    return cause
+
+
 class InvalidationOnly(Scheme):
     """Abort-on-invalidation processing of read-only transactions."""
 
@@ -69,20 +86,23 @@ class InvalidationOnly(Scheme):
         for txn in list(self._active.values()):
             if not txn.is_active:
                 continue
-            if self._invalidated(txn, report, program):
+            hit = self._invalidated(txn, report, program)
+            if hit:
                 txn.abort(
                     AbortReason.INVALIDATED,
                     self.ctx.env.now,
                     program.cycle,
+                    cause=_invalidation_cause(report.cycle, self.granularity, hit),
                 )
 
-    def _invalidated(self, txn, report, program) -> bool:
+    def _invalidated(self, txn, report, program) -> frozenset:
+        """The invalidated items (or pages) of ``txn``; empty = survives."""
         if self.granularity is Granularity.ITEM:
-            return bool(report.invalidates(txn.readset))
+            return report.invalidates(txn.readset)
         pages = frozenset(
             self._page_of[item] for item in txn.readset if item in self._page_of
         )
-        return bool(report.invalidates_buckets(pages))
+        return report.invalidates_buckets(pages)
 
     def on_interim_report(self, report) -> None:
         """Sub-cycle reports (§7): learn about invalidations within ``h``
@@ -99,19 +119,22 @@ class InvalidationOnly(Scheme):
             if not txn.is_active:
                 continue
             if self.granularity is Granularity.ITEM:
-                hit = bool(report.invalidates(txn.readset))
+                hit = report.invalidates(txn.readset)
             else:
                 pages = frozenset(
                     self._page_of[item]
                     for item in txn.readset
                     if item in self._page_of
                 )
-                hit = bool(report.invalidates_buckets(pages))
+                hit = report.invalidates_buckets(pages)
             if hit:
                 txn.abort(
                     AbortReason.INVALIDATED,
                     self.ctx.env.now,
                     self.ctx.current_cycle,
+                    cause=_invalidation_cause(
+                        report.cycle, self.granularity, hit, interim=True
+                    ),
                 )
 
     def on_missed_cycle(self, cycle: int) -> None:
@@ -119,7 +142,12 @@ class InvalidationOnly(Scheme):
         # query dies (Table 1: no tolerance to disconnections).
         for txn in list(self._active.values()):
             if txn.is_active:
-                txn.abort(AbortReason.DISCONNECTED, self.ctx.env.now, cycle)
+                txn.abort(
+                    AbortReason.DISCONNECTED,
+                    self.ctx.env.now,
+                    cycle,
+                    cause={"event": "missed_cycle", "missed_cycle": cycle},
+                )
 
     def begin(self, txn: ReadOnlyTransaction) -> None:
         self._active[txn.txn_id] = txn

@@ -95,6 +95,11 @@ class MultiversionBroadcast(Scheme):
                 AbortReason.VERSION_GONE,
                 f"{txn.txn_id}: version of item {item} at cycle {c0} is no "
                 "longer on the air (span exceeded the retention window)",
+                cause={
+                    "event": "version_overwritten",
+                    "item": item,
+                    "needed_cycle": c0,
+                },
             )
         if self.use_cache and ctx.cache is not None:
             if valid_to is None:

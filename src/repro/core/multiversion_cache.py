@@ -29,6 +29,19 @@ from repro.core.transaction import (
 )
 
 
+def _mark_cause(report, hit, interim: bool = False):
+    """Cause-chain entry for the first invalidation that marks a query."""
+    cause = {
+        "event": "invalidation",
+        "report_cycle": report.cycle,
+        "items": sorted(hit),
+        "terminal": False,
+    }
+    if interim:
+        cause["interim"] = True
+    return cause
+
+
 class MultiversionCaching(Scheme):
     """Invalidation reports + versioned values kept in a partitioned cache."""
 
@@ -60,10 +73,11 @@ class MultiversionCaching(Scheme):
     def on_cycle_start(self, program: BroadcastProgram) -> None:
         report = program.control.invalidation
         for txn in self._active.values():
-            if txn.status is TransactionStatus.ACTIVE and report.invalidates(
-                txn.readset
-            ):
-                txn.mark(deadline=report.cycle)
+            if txn.status is not TransactionStatus.ACTIVE:
+                continue
+            hit = report.invalidates(txn.readset)
+            if hit:
+                txn.mark(deadline=report.cycle, cause=_mark_cause(report, hit))
 
     def on_interim_report(self, report) -> None:
         """Sub-cycle reports (§7): mark at the interval, not the cycle.
@@ -72,10 +86,14 @@ class MultiversionCaching(Scheme):
         versions explicitly, so earlier marking is purely beneficial.
         """
         for txn in self._active.values():
-            if txn.status is TransactionStatus.ACTIVE and report.invalidates(
-                txn.readset
-            ):
-                txn.mark(deadline=report.cycle)
+            if txn.status is not TransactionStatus.ACTIVE:
+                continue
+            hit = report.invalidates(txn.readset)
+            if hit:
+                txn.mark(
+                    deadline=report.cycle,
+                    cause=_mark_cause(report, hit, interim=True),
+                )
 
     def on_missed_cycle(self, cycle: int) -> None:
         # Partially tolerated in principle (versions are broadcast), but a
@@ -84,7 +102,12 @@ class MultiversionCaching(Scheme):
         # for the invalidation-driven schemes.
         for txn in list(self._active.values()):
             if txn.is_active:
-                txn.abort(AbortReason.DISCONNECTED, self.ctx.env.now, cycle)
+                txn.abort(
+                    AbortReason.DISCONNECTED,
+                    self.ctx.env.now,
+                    cycle,
+                    cause={"event": "missed_cycle", "missed_cycle": cycle},
+                )
 
     def begin(self, txn: ReadOnlyTransaction) -> None:
         self._active[txn.txn_id] = txn
@@ -134,6 +157,11 @@ class MultiversionCaching(Scheme):
             AbortReason.STALE_CACHE,
             f"{txn.txn_id}: no version of item {item} current at cycle "
             f"{target} is cached, and the item has been updated since",
+            cause={
+                "event": "stale_cache",
+                "item": item,
+                "target_cycle": target,
+            },
         )
 
     def state_cycle(self, txn: ReadOnlyTransaction):

@@ -83,6 +83,7 @@ class SerializationGraphTesting(Scheme):
         for txn in self._active.values():
             if not txn.is_active:
                 continue
+            edged = []
             for item in report.invalidates(txn.readset):
                 first_writer = report.first_writers.get(item)
                 if first_writer is None:
@@ -93,6 +94,18 @@ class SerializationGraphTesting(Scheme):
                 self.graph.add_node(txn.txn_id)
                 self.graph.add_edge(txn.txn_id, first_writer)
                 self._first_invalidation.setdefault(txn.txn_id, report.cycle)
+                edged.append(item)
+            if edged:
+                # Not an abort -- but if a later read closes a cycle, the
+                # chain shows which invalidation pulled the query into it.
+                txn.cause_chain.append(
+                    {
+                        "event": "invalidation",
+                        "report_cycle": report.cycle,
+                        "items": sorted(edged),
+                        "terminal": False,
+                    }
+                )
 
         self._prune(program.cycle)
         self._last_heard = program.cycle
@@ -113,7 +126,12 @@ class SerializationGraphTesting(Scheme):
             # rebuild what future queries can possibly need.
             for txn in list(self._active.values()):
                 if txn.is_active:
-                    txn.abort(AbortReason.DISCONNECTED, self.ctx.env.now, cycle)
+                    txn.abort(
+                        AbortReason.DISCONNECTED,
+                        self.ctx.env.now,
+                        cycle,
+                        cause={"event": "missed_cycle", "missed_cycle": cycle},
+                    )
                     self._forget(txn)
             self.graph = SerializationGraph()
             return
@@ -142,6 +160,12 @@ class SerializationGraphTesting(Scheme):
                 AbortReason.DISCONNECTED,
                 f"{txn.txn_id}: item {item} was written during or after a "
                 f"missed cycle (version {record.version} > bound {bound})",
+                cause={
+                    "event": "version_bound",
+                    "item": item,
+                    "version": record.version,
+                    "bound": bound,
+                },
             )
 
         writer = record.writer
@@ -154,6 +178,11 @@ class SerializationGraphTesting(Scheme):
                     AbortReason.CYCLE_DETECTED,
                     f"{txn.txn_id}: reading item {item} from {writer} would "
                     "close a serialization cycle",
+                    cause={
+                        "event": "sgt_cycle",
+                        "item": item,
+                        "writer": str(writer),
+                    },
                 )
         return self._result_from_record(record, cycle, from_cache)
 

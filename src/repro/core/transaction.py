@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
 
 from repro.graph.sgraph import TxnId
 
@@ -64,6 +64,12 @@ class ReadOnlyTransaction:
     #: transaction may only continue on values current at ``deadline - 1``.
     deadline: Optional[int] = None
     abort_reason: Optional[AbortReason] = None
+    #: Machine-readable history of why the attempt went wrong: every
+    #: ``mark()`` and ``abort()`` appends an entry, so an aborted attempt
+    #: always carries the full cause chain (e.g. the invalidation that
+    #: marked it, then the stale-cache read that killed it, then the
+    #: terminal abort record).  The tracer ships this verbatim.
+    cause_chain: List[Dict[str, Any]] = field(default_factory=list)
     reads: Dict[int, ReadResult] = field(default_factory=dict)
     cycles_touched: Set[int] = field(default_factory=set)
     start_time: float = 0.0
@@ -105,12 +111,16 @@ class ReadOnlyTransaction:
         if self.first_read_cycle is None:
             self.first_read_cycle = result.read_cycle
 
-    def mark(self, deadline: int) -> None:
+    def mark(
+        self, deadline: int, cause: Optional[Mapping[str, Any]] = None
+    ) -> None:
         """Enter the "marked abort" state with invalidation cycle
         ``deadline`` (only the first invalidation counts)."""
         if self.status is TransactionStatus.ACTIVE:
             self.status = TransactionStatus.MARKED
             self.deadline = deadline
+            if cause is not None:
+                self.cause_chain.append(dict(cause))
 
     def commit(self, time: float, cycle: int) -> None:
         if not self.is_active:
@@ -119,13 +129,24 @@ class ReadOnlyTransaction:
         self.end_time = time
         self.end_cycle = cycle
 
-    def abort(self, reason: AbortReason, time: float, cycle: int) -> None:
+    def abort(
+        self,
+        reason: AbortReason,
+        time: float,
+        cycle: int,
+        cause: Optional[Mapping[str, Any]] = None,
+    ) -> None:
         if self.status is TransactionStatus.COMMITTED:
             raise RuntimeError(f"{self.txn_id}: abort after commit")
         self.status = TransactionStatus.ABORTED
         self.abort_reason = reason
         self.end_time = time
         self.end_cycle = cycle
+        terminal: Dict[str, Any] = dict(cause) if cause is not None else {}
+        terminal.setdefault("event", "abort")
+        terminal.setdefault("reason", reason.value)
+        terminal.setdefault("cycle", cycle)
+        self.cause_chain.append(terminal)
 
     @property
     def latency_cycles(self) -> int:

@@ -27,6 +27,19 @@ from repro.core.transaction import (
 )
 
 
+def _mark_cause(report, hit, interim: bool = False):
+    """Cause-chain entry for the first invalidation that marks a query."""
+    cause = {
+        "event": "invalidation",
+        "report_cycle": report.cycle,
+        "items": sorted(hit),
+        "terminal": False,
+    }
+    if interim:
+        cause["interim"] = True
+    return cause
+
+
 class InvalidationWithVersionedCache(Scheme):
     """Marked-abort processing: continue on old-enough cached values."""
 
@@ -54,11 +67,12 @@ class InvalidationWithVersionedCache(Scheme):
     def on_cycle_start(self, program: BroadcastProgram) -> None:
         report = program.control.invalidation
         for txn in self._active.values():
-            if txn.status is TransactionStatus.ACTIVE and report.invalidates(
-                txn.readset
-            ):
+            if txn.status is not TransactionStatus.ACTIVE:
+                continue
+            hit = report.invalidates(txn.readset)
+            if hit:
                 # First invalidation: mark, do not abort (Section 4.1).
-                txn.mark(deadline=report.cycle)
+                txn.mark(deadline=report.cycle, cause=_mark_cause(report, hit))
 
     def on_interim_report(self, report) -> None:
         """Sub-cycle reports (§7): mark affected queries immediately.
@@ -69,15 +83,24 @@ class InvalidationWithVersionedCache(Scheme):
         a hopeless cache) sooner.
         """
         for txn in self._active.values():
-            if txn.status is TransactionStatus.ACTIVE and report.invalidates(
-                txn.readset
-            ):
-                txn.mark(deadline=report.cycle)
+            if txn.status is not TransactionStatus.ACTIVE:
+                continue
+            hit = report.invalidates(txn.readset)
+            if hit:
+                txn.mark(
+                    deadline=report.cycle,
+                    cause=_mark_cause(report, hit, interim=True),
+                )
 
     def on_missed_cycle(self, cycle: int) -> None:
         for txn in list(self._active.values()):
             if txn.is_active:
-                txn.abort(AbortReason.DISCONNECTED, self.ctx.env.now, cycle)
+                txn.abort(
+                    AbortReason.DISCONNECTED,
+                    self.ctx.env.now,
+                    cycle,
+                    cause={"event": "missed_cycle", "missed_cycle": cycle},
+                )
 
     def begin(self, txn: ReadOnlyTransaction) -> None:
         self._active[txn.txn_id] = txn
@@ -141,6 +164,11 @@ class InvalidationWithVersionedCache(Scheme):
             AbortReason.STALE_CACHE,
             f"{txn.txn_id}: no value of item {item} current at cycle "
             f"{target} is obtainable",
+            cause={
+                "event": "stale_cache",
+                "item": item,
+                "target_cycle": target,
+            },
         )
 
     def state_cycle(self, txn: ReadOnlyTransaction):

@@ -21,15 +21,16 @@ a fault-counter summary so runs can be compared across revisions.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.config import DEFAULTS, ModelParameters
-from repro.experiments.render import render_sweep, render_table, sweep_to_csv
+from repro.experiments.render import render_sweep, render_table
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     SweepResult,
     run_point,
+    write_sweep_csv,
 )
 from repro.experiments.schemes import scheme_factory
 from repro.runtime import Simulation
@@ -101,17 +102,25 @@ def fault_counter_rows(
     return rows
 
 
-def write_csv(sweep: SweepResult, filename: str = "faults_abort_vs_loss.csv") -> Path:
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / filename
-    path.write_text(sweep_to_csv(sweep))
-    return path
+def write_csv(
+    sweep: SweepResult,
+    filename: str = "faults_abort_vs_loss.csv",
+    profile: Optional[ExperimentProfile] = None,
+    params: ModelParameters = DEFAULTS,
+) -> Path:
+    return write_sweep_csv(
+        sweep,
+        str(RESULTS_DIR / filename),
+        params=params,
+        profile=profile,
+        extra={"loss_sweep": list(LOSS_SWEEP), "schemes": list(FAULT_SCHEMES)},
+    )
 
 
 def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
     sweep = run_loss_sweep(profile)
     print(render_sweep(sweep))
-    path = write_csv(sweep)
+    path = write_csv(sweep, profile=profile)
     print(f"Wrote {path}\n")
     headers = ["scheme"] + [c.removeprefix("fault.") for c in FAULT_COUNTERS] + [
         "abort_rate"

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.config import ModelParameters
 from repro.core.base import Scheme
@@ -135,6 +136,47 @@ def run_point(
         )
         point.fold(sim.run())
     return point
+
+
+def write_sweep_csv(
+    sweep: "SweepResult",
+    path: str,
+    params: Optional[ModelParameters] = None,
+    profile: Optional[ExperimentProfile] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a sweep CSV with provenance: a sibling manifest JSON plus
+    leading ``# manifest:`` / ``# seeds:`` comment rows in the CSV.
+
+    The manifest records the full parameter tree, the seed list, the git
+    revision, and the package versions, so the CSV can always be traced
+    back to the exact configuration that produced it.
+    """
+    from repro.experiments.render import sweep_to_csv
+    from repro.obs.manifest import write_manifest
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    seeds = tuple(profile.seeds) if profile is not None else ()
+    manifest_extra = {"experiment": sweep.name, "x_label": sweep.x_label}
+    if profile is not None:
+        manifest_extra.update(
+            num_cycles=profile.num_cycles,
+            warmup_cycles=profile.warmup_cycles,
+            num_clients=profile.num_clients,
+        )
+    manifest_extra.update(extra or {})
+    manifest_path = write_manifest(
+        str(target.with_suffix(".manifest.json")),
+        params=params,
+        seeds=seeds,
+        extra=manifest_extra,
+    )
+    provenance = {"manifest": manifest_path.name}
+    if seeds:
+        provenance["seeds"] = " ".join(str(s) for s in seeds)
+    target.write_text(sweep_to_csv(sweep, provenance=provenance))
+    return target
 
 
 @dataclass

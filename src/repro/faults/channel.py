@@ -32,6 +32,14 @@ from typing import List, Optional, Sequence
 from repro.broadcast.channel import BroadcastChannel, ChannelListener
 from repro.broadcast.program import BroadcastProgram, ItemRecord
 from repro.faults.models import CycleFate, FaultModel
+from repro.obs.trace import (
+    EV_FAULT_READ_LOST,
+    EV_FAULT_REPORT_DELAYED,
+    EV_FAULT_REPORT_MISSED,
+    EV_FAULT_TRUNCATED,
+    Tracer,
+    gate,
+)
 from repro.sim.events import Event
 from repro.stats.metrics import (
     FAULT_CYCLES_TRUNCATED,
@@ -51,11 +59,16 @@ class FaultyChannel:
         inner: BroadcastChannel,
         pipeline: Sequence[FaultModel],
         metrics: Optional[MetricsRegistry] = None,
+        client_id: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.inner = inner
         self.env = inner.env
         self.pipeline = list(pipeline)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.client_id = client_id
+        self._trace_q = gate(tracer, "queries")
+        self._trace_r = gate(tracer, "reads")
         self._listeners: List[ChannelListener] = []
         self._cycle_started: Event = self.env.event()
         #: The last program whose control segment the client decoded --
@@ -88,15 +101,35 @@ class FaultyChannel:
             fate.control_lost = True
         if fate.truncated:
             self.metrics.count(FAULT_CYCLES_TRUNCATED)
+            if self._trace_q is not None:
+                self._trace_q.emit(
+                    EV_FAULT_TRUNCATED,
+                    client=self.client_id,
+                    cycle=program.cycle,
+                    lost_slots=fate.data_slots_lost,
+                )
         self.metrics.count(FAULT_SLOTS_LOST, fate.data_slots_lost)
 
         if fate.control_lost:
             self.metrics.count(FAULT_REPORTS_MISSED)
+            if self._trace_q is not None:
+                self._trace_q.emit(
+                    EV_FAULT_REPORT_MISSED,
+                    client=self.client_id,
+                    cycle=program.cycle,
+                )
             self._signal_lost(program.cycle)
             return
         lost = frozenset(fate.lost_slots)
         if fate.control_delay > 0:
             self.metrics.count(FAULT_REPORTS_DELAYED)
+            if self._trace_q is not None:
+                self._trace_q.emit(
+                    EV_FAULT_REPORT_DELAYED,
+                    client=self.client_id,
+                    cycle=program.cycle,
+                    delay=fate.control_delay,
+                )
             # Everything that flew before synchronization is gone too.
             lost = lost | frozenset(
                 slot
@@ -195,6 +228,13 @@ class FaultyChannel:
     def _receivable(self, slot: int) -> bool:
         if slot in self._lost_slots:
             self.metrics.count(FAULT_READS_LOST)
+            if self._trace_r is not None:
+                self._trace_r.emit(
+                    EV_FAULT_READ_LOST,
+                    client=self.client_id,
+                    cycle=self.program.cycle,
+                    slot=slot,
+                )
             return False
         return True
 

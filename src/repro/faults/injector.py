@@ -27,6 +27,7 @@ from repro.faults.models import (
     build_pipeline,
     compute_storm_windows,
 )
+from repro.obs.trace import Tracer
 from repro.stats.metrics import MetricsRegistry
 
 #: Offset mixed into the simulation seed when no explicit fault seed is
@@ -42,9 +43,11 @@ class FaultInjector:
         faults: FaultParameters,
         sim: SimulationParameters,
         metrics: MetricsRegistry,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.faults = faults
         self.metrics = metrics
+        self.tracer = tracer
         seed = faults.seed if faults.seed is not None else sim.seed ^ _SEED_SALT
         self._rng = random.Random(seed)
         self.storm_windows: List = []
@@ -61,7 +64,13 @@ class FaultInjector:
         pipeline = build_pipeline(
             self.faults, random.Random(self._rng.getrandbits(64))
         )
-        return FaultyChannel(channel, pipeline, self.metrics)
+        return FaultyChannel(
+            channel,
+            pipeline,
+            self.metrics,
+            client_id=client_id,
+            tracer=self.tracer,
+        )
 
     def disconnections_for(self, client_id: int) -> Optional[DisconnectionModel]:
         """This client's share of the storm schedule (``None`` if no

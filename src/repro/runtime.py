@@ -35,11 +35,19 @@ from repro.core.control import (
     InvalidationReport,
     ReportSchedule,
 )
+from repro.obs.trace import (
+    EV_CYCLE_END,
+    EV_CYCLE_START,
+    EV_ENGINE_STEP,
+    Tracer,
+    gate,
+)
 from repro.server.broadcast import ProgramBuilder
 from repro.server.database import Database
 from repro.server.transactions import TransactionEngine, merge_outcomes
 from repro.server.versions import VersionStore
 from repro.sim.engine import Environment
+from repro.stats import names as metric_names
 from repro.stats.metrics import MetricsRegistry
 
 
@@ -110,6 +118,7 @@ class Simulation:
         keep_history: bool = False,
         report_schedule: Optional[ReportSchedule] = None,
         interleaved_server: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         params.validate()
         self.params = params
@@ -117,6 +126,16 @@ class Simulation:
         self.env = Environment()
         self.metrics = MetricsRegistry()
         self._rng = random.Random(params.sim.seed)
+        self.tracer = tracer
+        self._trace_c = gate(tracer, "cycles")
+        if tracer is not None and tracer.enabled:
+            tracer.bind_clock(lambda: self.env.now)
+            if tracer.engine:
+                self.env.set_trace_hook(
+                    lambda now, ev: tracer.emit(
+                        EV_ENGINE_STEP, event=type(ev).__name__
+                    )
+                )
 
         # -- server substrate ------------------------------------------------
         self.database = Database(params.server.broadcast_size)
@@ -151,6 +170,7 @@ class Simulation:
             version_store=self.version_store,
             schedule=schedule,
             requirements=requirements,
+            tracer=tracer,
         )
 
         # -- air interface and clients ------------------------------------------
@@ -158,7 +178,7 @@ class Simulation:
         self.fault_injector: Optional[FaultInjector] = None
         if params.faults.active:
             self.fault_injector = FaultInjector(
-                params.faults, params.sim, self.metrics
+                params.faults, params.sim, self.metrics, tracer=tracer
             )
         self.clients: List[BroadcastClient] = []
         for client_id, scheme in enumerate(self.schemes):
@@ -188,6 +208,7 @@ class Simulation:
                     disconnect=disconnect,
                     client_id=client_id,
                     warmup_cycles=params.sim.warmup_cycles,
+                    tracer=tracer,
                 )
             )
 
@@ -203,11 +224,18 @@ class Simulation:
         outcome = None
         while cycle <= self.params.sim.num_cycles:
             program = self.builder.build(cycle, outcome)
-            self.metrics.observe("broadcast.slots", program.total_slots)
-            self.metrics.observe("broadcast.control_slots", program.control_slots)
+            self.metrics.observe(metric_names.BROADCAST_SLOTS, program.total_slots)
             self.metrics.observe(
-                "broadcast.overflow_slots", len(program.overflow_buckets)
+                metric_names.BROADCAST_CONTROL_SLOTS, program.control_slots
             )
+            self.metrics.observe(
+                metric_names.BROADCAST_OVERFLOW_SLOTS,
+                len(program.overflow_buckets),
+            )
+            if self._trace_c is not None:
+                self._trace_c.emit(
+                    EV_CYCLE_START, cycle=cycle, **program.slot_breakdown()
+                )
             self.channel.begin_cycle(program)
             # Transactions logically commit *during* the cycle that just
             # aired; their values go out with the next cycle's snapshot.
@@ -226,6 +254,12 @@ class Simulation:
             self.engine.prune_graph_before(cycle - 4 * retention)
             self._cycles_completed = cycle
             self._total_slots += program.total_slots
+            if self._trace_c is not None:
+                self._trace_c.emit(
+                    EV_CYCLE_END,
+                    cycle=cycle,
+                    updates=len(outcome.updated_items) if outcome else 0,
+                )
             cycle += 1
         self._stop.succeed()
 
@@ -247,7 +281,7 @@ class Simulation:
             part = self.engine.run_batch(cycle, range(bounds[j], bounds[j + 1]))
             parts.append(part)
             if j < intervals - 1 and part.updated_items:
-                self.metrics.count("broadcast.interim_reports")
+                self.metrics.count(metric_names.BROADCAST_INTERIM_REPORTS)
                 self.channel.publish_interim_report(
                     InvalidationReport(
                         cycle=cycle + 1, updated_items=part.updated_items

@@ -29,6 +29,7 @@ from repro.core.control import (
     InvalidationReport,
 )
 from repro.graph.sgraph import GraphDiff
+from repro.obs.trace import EV_PROGRAM_BUILD, Tracer, gate
 from repro.server.database import Database
 from repro.server.sizing import SizeModel
 from repro.server.transactions import CycleOutcome
@@ -51,6 +52,7 @@ class ProgramBuilder:
         schedule: Optional[Schedule] = None,
         requirements: Optional[BroadcastRequirements] = None,
         bits_per_unit: int = 32,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.params = params
         self.database = database
@@ -58,6 +60,7 @@ class ProgramBuilder:
         self.schedule = schedule or FlatSchedule(params.broadcast_size)
         self.requirements = requirements or BroadcastRequirements()
         self.size_model = SizeModel(params, bits_per_unit=bits_per_unit)
+        self._trace_c = gate(tracer, "cycles")
         self._recent_reports: Deque[InvalidationReport] = deque(
             maxlen=max(1, self.requirements.report_window)
         )
@@ -199,7 +202,7 @@ class ProgramBuilder:
 
         self._recent_reports.append(report)
 
-        return BroadcastProgram(
+        program = BroadcastProgram(
             cycle=cycle,
             control=control,
             data_buckets=data_buckets,
@@ -208,6 +211,17 @@ class ProgramBuilder:
             index_slots=index_slots,
             organization=organization,
         )
+        if self._trace_c is not None:
+            self._trace_c.emit(
+                EV_PROGRAM_BUILD,
+                cycle=cycle,
+                control_units=control_units,
+                updated=len(report.updated_items),
+                old_versions=program.total_old_versions,
+                organization=organization.value,
+                **program.slot_breakdown(),
+            )
+        return program
 
     def _flat_data_buckets(self, order: List[int], cycle: int) -> List[Bucket]:
         per_bucket = self.params.items_per_bucket

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.sim.events import (
     AllOf,
@@ -50,6 +50,8 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._steps = 0
+        self._trace_hook: Optional[Callable[[float, Event], None]] = None
 
     # -- clock and introspection -----------------------------------------
 
@@ -71,6 +73,22 @@ class Environment:
     def queue_length(self) -> int:
         """Number of events currently scheduled (mainly for tests)."""
         return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events dispatched so far (the bench's events/sec base)."""
+        return self._steps
+
+    def set_trace_hook(
+        self, hook: Optional[Callable[[float, Event], None]]
+    ) -> None:
+        """Install (or clear) a per-dispatch observer.
+
+        The hook fires after the clock advanced, before callbacks run.
+        Engine-level tracing only -- it is on the hottest path in the
+        whole simulator, so keep the hook trivial.
+        """
+        self._trace_hook = hook
 
     # -- event factories ---------------------------------------------------
 
@@ -116,6 +134,10 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+
+        self._steps += 1
+        if self._trace_hook is not None:
+            self._trace_hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive

@@ -4,38 +4,18 @@ from __future__ import annotations
 
 from typing import Dict, ItemsView, Optional
 
-from repro.stats.online import OnlineStats, RatioEstimator
-
-# -- canonical fault-injection metric names (see repro.faults) -------------
-
-#: Data buckets that never reached a client (per client, summed).
-FAULT_SLOTS_LOST = "fault.slots_lost"
-#: Cycles whose control segment a client could not decode.
-FAULT_REPORTS_MISSED = "fault.reports_missed"
-#: Cycles whose control segment decoded late (client synced mid-cycle).
-FAULT_REPORTS_DELAYED = "fault.reports_delayed"
-#: Cycles cut short by a truncation fault.
-FAULT_CYCLES_TRUNCATED = "fault.cycles_truncated"
-#: Reads that tuned into a slot and received noise (retried).
-FAULT_READS_LOST = "fault.reads_lost"
-#: Resynchronizations after a fault-induced missed cycle.
-FAULT_RECOVERIES = "fault.recoveries"
-#: Active transactions doomed by a fault-induced missed cycle.
-FAULT_FORCED_ABORTS = "fault.forced_aborts"
-#: Client-side outages caused by disconnect storms.
-FAULT_STORM_OUTAGES = "fault.storm_outages"
-
-#: Every fault counter, for summaries and CSV columns.
-FAULT_COUNTERS = (
-    FAULT_SLOTS_LOST,
-    FAULT_REPORTS_MISSED,
-    FAULT_REPORTS_DELAYED,
+from repro.stats.names import (  # noqa: F401 -- re-exported for callers
+    FAULT_COUNTERS,
     FAULT_CYCLES_TRUNCATED,
+    FAULT_FORCED_ABORTS,
     FAULT_READS_LOST,
     FAULT_RECOVERIES,
-    FAULT_FORCED_ABORTS,
+    FAULT_REPORTS_DELAYED,
+    FAULT_REPORTS_MISSED,
+    FAULT_SLOTS_LOST,
     FAULT_STORM_OUTAGES,
 )
+from repro.stats.online import OnlineStats, RatioEstimator
 
 
 class Counter:
@@ -154,3 +134,28 @@ class MetricsRegistry:
                 flat[f"{name}.ratio"] = ratio.ratio
                 flat[f"{name}.total"] = float(ratio.total)
         return flat
+
+    def diff(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Changed metrics since a previous :meth:`snapshot`.
+
+        Returns ``{flat_name: after - before}`` for every *monotone*
+        entry (``.count``, ``.n``, ``.total``) whose value moved --
+        means, maxima and ratios are point-in-time values, not
+        accumulations, so deltas of them are omitted.  Lets callers
+        bracket a phase without re-summing counters by hand:
+
+        >>> registry = MetricsRegistry()
+        >>> before = registry.snapshot()
+        >>> registry.count('x')
+        >>> registry.diff(before)
+        {'x.count': 1.0}
+        """
+        after = self.snapshot()
+        delta: Dict[str, float] = {}
+        for name, value in after.items():
+            if not name.endswith((".count", ".n", ".total")):
+                continue
+            change = value - before.get(name, 0.0)
+            if change:
+                delta[name] = change
+        return delta

@@ -1,0 +1,81 @@
+"""Canonical metric names, in one place.
+
+Every counter/sampler/ratio name used across the client, server, fault
+layer and experiment harness lives here, so the tracer, the analyzers
+and the CSV emitters can refer to metrics without scattering ad-hoc
+string literals.  :mod:`repro.stats.metrics` re-exports the fault
+constants for backward compatibility.
+"""
+
+from __future__ import annotations
+
+# -- query / attempt outcomes (client machine) -----------------------------
+
+#: Ratio: committed attempts over all measured attempts.
+ATTEMPT_COMMITTED = "attempt.committed"
+#: Ratio: queries that eventually committed within ``max_attempts``.
+QUERY_COMPLETED = "query.completed"
+#: Sampler: attempts consumed per query.
+QUERY_ATTEMPTS = "query.attempts"
+
+#: Prefix of the per-reason abort counters (``abort.<AbortReason.value>``).
+ABORT_PREFIX = "abort."
+
+
+def abort_metric(reason_value: str) -> str:
+    """Counter name for one :class:`~repro.core.transaction.AbortReason`."""
+    return f"{ABORT_PREFIX}{reason_value}"
+
+
+# -- committed-transaction samplers ----------------------------------------
+
+TXN_LATENCY_CYCLES = "txn.latency_cycles"
+TXN_LATENCY_SLOTS = "txn.latency_slots"
+TXN_SPAN = "txn.span"
+TXN_CACHE_READS = "txn.cache_reads"
+TXN_CURRENCY_LAG = "txn.currency_lag"
+
+# -- client-side housekeeping ----------------------------------------------
+
+CACHE_HIT_RATIO = "cache.hit_ratio"
+CLIENT_DISCONNECTIONS = "client.disconnections"
+CLIENT_RESYNCS = "client.resyncs"
+CLIENT_CACHE_DROPS = "client.cache_drops"
+
+# -- server / broadcast sizing ---------------------------------------------
+
+BROADCAST_SLOTS = "broadcast.slots"
+BROADCAST_CONTROL_SLOTS = "broadcast.control_slots"
+BROADCAST_OVERFLOW_SLOTS = "broadcast.overflow_slots"
+BROADCAST_INTERIM_REPORTS = "broadcast.interim_reports"
+
+# -- fault injection (see repro.faults) ------------------------------------
+
+#: Data buckets that never reached a client (per client, summed).
+FAULT_SLOTS_LOST = "fault.slots_lost"
+#: Cycles whose control segment a client could not decode.
+FAULT_REPORTS_MISSED = "fault.reports_missed"
+#: Cycles whose control segment decoded late (client synced mid-cycle).
+FAULT_REPORTS_DELAYED = "fault.reports_delayed"
+#: Cycles cut short by a truncation fault.
+FAULT_CYCLES_TRUNCATED = "fault.cycles_truncated"
+#: Reads that tuned into a slot and received noise (retried).
+FAULT_READS_LOST = "fault.reads_lost"
+#: Resynchronizations after a fault-induced missed cycle.
+FAULT_RECOVERIES = "fault.recoveries"
+#: Active transactions doomed by a fault-induced missed cycle.
+FAULT_FORCED_ABORTS = "fault.forced_aborts"
+#: Client-side outages caused by disconnect storms.
+FAULT_STORM_OUTAGES = "fault.storm_outages"
+
+#: Every fault counter, for summaries and CSV columns.
+FAULT_COUNTERS = (
+    FAULT_SLOTS_LOST,
+    FAULT_REPORTS_MISSED,
+    FAULT_REPORTS_DELAYED,
+    FAULT_CYCLES_TRUNCATED,
+    FAULT_READS_LOST,
+    FAULT_RECOVERIES,
+    FAULT_FORCED_ABORTS,
+    FAULT_STORM_OUTAGES,
+)

@@ -1,0 +1,63 @@
+"""Smoke tests for the benchmark harness (tiny scenario, one repeat)."""
+
+import json
+
+from repro.obs import bench
+from repro.obs.analyze import TraceAnalyzer
+
+
+def test_run_bench_smoke_payload():
+    scenario = bench.scenarios()["smoke"]
+    payload = bench.run_bench(scenario, repeats=1)
+    assert payload["scenario"] == "smoke"
+    assert set(payload["modes"]) == set(bench.MODES)
+    for mode in bench.MODES:
+        stats = payload["modes"][mode]
+        assert stats["seconds"] > 0
+        assert stats["events"] > 0
+        assert stats["queries"] > 0
+        assert stats["events_per_sec"] > 0
+        assert stats["queries_per_sec"] > 0
+    # The ring mode must actually have captured events.
+    assert payload["modes"]["ring"]["trace_events"] > 0
+    # Disabled mode has a sink attached but never writes to it.
+    assert payload["modes"]["disabled"]["trace_events"] == 0
+    assert "disabled_overhead" in payload
+    assert payload["events_per_sec"] == payload["modes"]["control"]["events_per_sec"]
+
+
+def test_bench_main_writes_json_and_sample(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    sample = tmp_path / "sample.jsonl"
+    code = bench.main(
+        [
+            "--scenario", "smoke",
+            "--repeats", "1",
+            "--out", str(out),
+            "--trace-sample", str(sample),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["bench"] == "repro.obs.bench"
+    assert "git_rev" in payload and "packages" in payload
+
+    analyzer = TraceAnalyzer.from_jsonl(str(sample))
+    info = analyzer.summary()
+    assert info["header"] is not None
+    assert info["header"]["scenario"] == "smoke"
+    assert info["cycles"] > 0
+    assert "queries/s" in capsys.readouterr().out
+
+
+def test_max_overhead_gate_fails_when_exceeded(tmp_path):
+    # A negative threshold is unsatisfiable, so the gate must trip.
+    code = bench.main(
+        [
+            "--scenario", "smoke",
+            "--repeats", "1",
+            "--out", str(tmp_path / "b.json"),
+            "--max-overhead", "-1.0",
+        ]
+    )
+    assert code == 1

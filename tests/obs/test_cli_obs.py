@@ -1,0 +1,87 @@
+"""CLI surface of the observability subsystem: --version, run --trace,
+and the trace analysis subcommands."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+from repro.obs.trace import read_jsonl
+
+RUN_TRACED = [
+    "run",
+    "--cycles", "20",
+    "--warmup", "3",
+    "--clients", "2",
+    "--broadcast-size", "100",
+    "--update-range", "50",
+    "--updates", "8",
+    "--offset", "20",
+    "--read-range", "40",
+    "--cache-size", "20",
+    "--ops", "4",
+    "--think-time", "0.5",
+    "--scheme", "inval",
+]
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("trace")
+    trace = tmp / "run.jsonl"
+    code = main(RUN_TRACED + ["--trace", str(trace), "--trace-level", "read"])
+    assert code == 0
+    return trace
+
+
+def test_run_trace_writes_jsonl_header_and_manifest(traced_run):
+    events = read_jsonl(str(traced_run))
+    header = events[0]
+    assert header["kind"] == "trace.header"
+    assert header["version"] == __version__
+    assert header["scheme"] == "inval"
+    assert header["level"] == "read"
+
+    manifest = json.loads((traced_run.parent / "run.jsonl.manifest.json").read_text())
+    assert manifest["version"] == __version__
+    assert manifest["scheme"] == "inval"
+    assert manifest["extra"]["trace_level"] == "read"
+    assert manifest["params"]["sim"]["num_cycles"] == 20
+
+
+def test_trace_summarize(traced_run, capsys):
+    assert main(["trace", "summarize", str(traced_run)]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    assert "query.begin" in out
+
+
+def test_trace_aborts(traced_run, capsys):
+    assert main(["trace", "aborts", str(traced_run), "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "root cause" in out
+
+
+def test_trace_airtime(traced_run, capsys):
+    assert main(["trace", "airtime", str(traced_run)]) == 0
+    out = capsys.readouterr().out
+    assert "control" in out and "data" in out
+    assert "20 cycles" in out
+
+
+def test_trace_timeline(traced_run, capsys):
+    assert main(["trace", "timeline", str(traced_run), "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "query.begin" in out
+
+
+def test_trace_timeline_no_match_fails(traced_run, capsys):
+    assert main(["trace", "timeline", str(traced_run), "--txn", "nope"]) == 1

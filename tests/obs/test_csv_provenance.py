@@ -1,0 +1,63 @@
+"""CSV provenance: comment rows, sibling manifests, comment-safe parsing."""
+
+from repro.config import DEFAULTS
+from repro.experiments.render import load_csv, parse_csv, sweep_to_csv
+from repro.experiments.runner import (
+    ExperimentProfile,
+    PointResult,
+    SweepResult,
+    write_sweep_csv,
+)
+from repro.obs.manifest import load_manifest
+
+
+def _sweep() -> SweepResult:
+    sweep = SweepResult(
+        name="unit sweep", x_label="x", xs=[1.0, 2.0], y_label="y"
+    )
+    for x, y in ((1.0, 0.25), (2.0, 0.5)):
+        point = PointResult(scheme="inval", committed=3, attempts=4)
+        sweep.add_point("inval", point, y)
+    return sweep
+
+
+def test_sweep_to_csv_provenance_rows_round_trip():
+    text = sweep_to_csv(_sweep(), provenance={"manifest": "m.json", "seeds": "1 2"})
+    assert text.startswith("# manifest: m.json\n# seeds: 1 2\n")
+    provenance, headers, rows = parse_csv(text)
+    assert provenance == {"manifest": "m.json", "seeds": "1 2"}
+    assert headers == ["x", "inval"]
+    assert rows == [["1.0", "0.25"], ["2.0", "0.5"]]
+
+
+def test_parse_csv_without_provenance_is_backward_compatible():
+    provenance, headers, rows = parse_csv(sweep_to_csv(_sweep()))
+    assert provenance == {}
+    assert headers == ["x", "inval"]
+    assert len(rows) == 2
+
+
+def test_write_sweep_csv_emits_manifest_sibling(tmp_path):
+    profile = ExperimentProfile(
+        num_cycles=10, warmup_cycles=2, num_clients=2, seeds=(3, 7)
+    )
+    path = write_sweep_csv(
+        _sweep(),
+        str(tmp_path / "results" / "unit.csv"),
+        params=DEFAULTS,
+        profile=profile,
+        extra={"axis": "loss"},
+    )
+    provenance, headers, rows = load_csv(str(path))
+    assert provenance["manifest"] == "unit.manifest.json"
+    assert provenance["seeds"] == "3 7"
+    assert headers == ["x", "inval"]
+
+    manifest = load_manifest(str(path.with_suffix(".manifest.json")))
+    assert manifest["seeds"] == [3, 7]
+    assert manifest["extra"]["experiment"] == "unit sweep"
+    assert manifest["extra"]["num_cycles"] == 10
+    assert manifest["extra"]["axis"] == "loss"
+    assert manifest["params"]["server"]["broadcast_size"] == (
+        DEFAULTS.server.broadcast_size
+    )

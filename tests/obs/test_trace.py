@@ -1,0 +1,133 @@
+"""Unit tests for the tracer core: levels, gating, sinks."""
+
+import pytest
+
+from repro.obs.trace import (
+    EV_HEADER,
+    EV_QUERY_BEGIN,
+    JsonlSink,
+    NULL_TRACER,
+    RingBufferSink,
+    TraceLevel,
+    Tracer,
+    gate,
+    read_jsonl,
+)
+
+
+class TestTraceLevel:
+    def test_parse_is_case_insensitive(self):
+        assert TraceLevel.parse("query") is TraceLevel.QUERY
+        assert TraceLevel.parse("READ") is TraceLevel.READ
+        assert TraceLevel.parse("Engine") is TraceLevel.ENGINE
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="Unknown trace level"):
+            TraceLevel.parse("verbose")
+
+    def test_levels_are_ordered(self):
+        assert (
+            TraceLevel.OFF
+            < TraceLevel.CYCLE
+            < TraceLevel.QUERY
+            < TraceLevel.READ
+            < TraceLevel.ENGINE
+        )
+
+
+class TestGating:
+    def test_none_tracer_gates_to_none(self):
+        assert gate(None, "queries") is None
+
+    def test_null_tracer_gates_to_none(self):
+        assert gate(NULL_TRACER, "cycles") is None
+
+    def test_sinkless_tracer_gates_to_none(self):
+        tracer = Tracer(level=TraceLevel.ENGINE, sinks=())
+        assert not tracer.enabled
+        assert gate(tracer, "queries") is None
+
+    def test_off_tracer_with_sinks_gates_to_none(self):
+        tracer = Tracer(level=TraceLevel.OFF, sinks=[RingBufferSink(8)])
+        assert gate(tracer, "cycles") is None
+
+    def test_level_inclusion(self):
+        tracer = Tracer(level=TraceLevel.QUERY, sinks=[RingBufferSink(8)])
+        assert gate(tracer, "cycles") is tracer
+        assert gate(tracer, "queries") is tracer
+        assert gate(tracer, "reads") is None
+        assert gate(tracer, "engine") is None
+
+    def test_read_level_excludes_engine(self):
+        tracer = Tracer(level=TraceLevel.READ, sinks=[RingBufferSink(8)])
+        assert gate(tracer, "reads") is tracer
+        assert gate(tracer, "engine") is None
+
+
+class TestTracer:
+    def test_emit_stamps_time_from_clock(self):
+        sink = RingBufferSink(8)
+        tracer = Tracer(
+            level=TraceLevel.QUERY, sinks=[sink], clock=lambda: 42.5
+        )
+        tracer.emit(EV_QUERY_BEGIN, txn="t1")
+        [event] = sink.events
+        assert event == {"t": 42.5, "kind": EV_QUERY_BEGIN, "txn": "t1"}
+
+    def test_bind_clock_replaces_default(self):
+        sink = RingBufferSink(8)
+        tracer = Tracer(level=TraceLevel.QUERY, sinks=[sink])
+        tracer.emit("a")
+        tracer.bind_clock(lambda: 7.0)
+        tracer.emit("b")
+        assert [e["t"] for e in sink.events] == [0.0, 7.0]
+
+    def test_header_carries_level(self):
+        sink = RingBufferSink(8)
+        tracer = Tracer(level=TraceLevel.READ, sinks=[sink])
+        tracer.header(scheme="inval", seed=7)
+        [event] = sink.events
+        assert event["kind"] == EV_HEADER
+        assert event["level"] == "read"
+        assert event["scheme"] == "inval"
+        assert event["seed"] == 7
+
+    def test_multiple_sinks_all_receive(self):
+        a, b = RingBufferSink(8), RingBufferSink(8)
+        tracer = Tracer(level=TraceLevel.QUERY, sinks=[a, b])
+        tracer.emit("x")
+        assert len(a) == len(b) == 1
+
+
+class TestRingBufferSink:
+    def test_bounded_and_counts_drops(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.write({"kind": "e", "i": i})
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [e["i"] for e in sink.events] == [2, 3, 4]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        sink.write({"t": 0.0, "kind": "a", "n": 1})
+        sink.write({"t": 1.5, "kind": "b", "items": [3, 4]})
+        sink.close()
+        events = read_jsonl(path)
+        assert events == [
+            {"t": 0.0, "kind": "a", "n": 1},
+            {"t": 1.5, "kind": "b", "items": [3, 4]},
+        ]
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        with pytest.raises(RuntimeError):
+            sink.write({"kind": "late"})

@@ -77,3 +77,37 @@ def test_monitor_names_and_get():
     assert mon.names() == ["a", "b"]
     assert "a" in mon
     assert mon.get("zzz") is None
+
+
+def test_timeseries_single_observation_statistics():
+    ts = TimeSeries()
+    ts.record(2.0, 5.0)
+    assert len(ts) == 1
+    assert ts.mean() == 5.0
+    assert ts.minimum() == 5.0
+    assert ts.maximum() == 5.0
+    assert ts.last == 5.0
+    assert ts.stdev() == 0.0
+    # With until beyond the observation, the single value holds throughout.
+    assert ts.time_weighted_mean(until=10.0) == 5.0
+
+
+def test_timeseries_duplicate_timestamps_allowed():
+    ts = TimeSeries()
+    ts.record(1.0, 2.0)
+    ts.record(1.0, 4.0)  # same instant: re-observation, not an error
+    ts.record(1.0, 6.0)
+    assert len(ts) == 3
+    assert ts.values == [2.0, 4.0, 6.0]
+    assert ts.mean() == 4.0
+    # Zero-width steps contribute nothing; only the last value persists.
+    assert ts.time_weighted_mean(until=2.0) == 6.0
+
+
+def test_timeseries_time_weighted_mean_zero_length_interval():
+    ts = TimeSeries()
+    ts.record(3.0, 9.0)
+    ts.record(3.0, 11.0)
+    # until == last time: total span is zero, defined as the last value.
+    assert ts.time_weighted_mean(until=3.0) == 11.0
+    assert ts.time_weighted_mean() == 11.0

@@ -62,3 +62,31 @@ def test_registry_iteration_views():
     assert dict(reg.counters())["a"].value == 1
     assert "b" in dict(reg.samplers())
     assert "c" in dict(reg.ratios())
+
+
+def test_registry_diff_reports_monotone_deltas_only():
+    reg = MetricsRegistry()
+    reg.count("aborts", 2)
+    reg.observe("lat", 1.0)
+    reg.record_outcome("ok", True)
+    before = reg.snapshot()
+
+    reg.count("aborts", 3)
+    reg.count("fresh")
+    reg.observe("lat", 9.0)
+    reg.record_outcome("ok", False)
+    delta = reg.diff(before)
+
+    assert delta["aborts.count"] == 3.0
+    assert delta["fresh.count"] == 1.0
+    assert delta["lat.n"] == 1.0
+    assert delta["ok.total"] == 1.0
+    # Point-in-time values (means, maxima, ratios) are never in a diff.
+    assert not any(k.endswith((".mean", ".max", ".ratio")) for k in delta)
+
+
+def test_registry_diff_empty_when_unchanged():
+    reg = MetricsRegistry()
+    reg.count("x", 5)
+    before = reg.snapshot()
+    assert reg.diff(before) == {}

@@ -136,3 +136,27 @@ class TestRatioEstimator:
         assert "empty" in repr(r)
         r.record(True)
         assert "1/1" in repr(r)
+
+
+@given(
+    a=st.lists(finite_floats, min_size=1, max_size=30),
+    b=st.lists(finite_floats, min_size=1, max_size=30),
+    c=st.lists(finite_floats, min_size=1, max_size=30),
+)
+@settings(max_examples=50)
+def test_property_merge_is_associative(a, b, c):
+    def stats(values):
+        s = OnlineStats()
+        for v in values:
+            s.add(v)
+        return s
+
+    left = stats(a).merge(stats(b)).merge(stats(c))
+    right = stats(a).merge(stats(b).merge(stats(c)))
+    assert left.count == right.count
+    assert left.mean == pytest.approx(right.mean, abs=1e-6, rel=1e-9)
+    assert left.sample_variance == pytest.approx(
+        right.sample_variance, abs=1e-4, rel=1e-6
+    )
+    assert left.minimum == right.minimum
+    assert left.maximum == right.maximum
