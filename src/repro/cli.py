@@ -19,6 +19,12 @@ Subcommands
     ``airtime``.
 ``bench``
     Throughput/overhead benchmark (see :mod:`repro.obs.bench`).
+``experiments``
+    Regenerate the paper's figures and tables; ``--jobs N`` shards each
+    sweep's (scheme, x, seed) cells over N worker processes with
+    byte-identical output, ``--cache DIR`` makes sweeps resumable, and
+    ``--check`` runs the parallel-vs-serial determinism oracle instead
+    (see :mod:`repro.experiments.parallel`).
 ``schemes``
     List the registered scheme labels.
 ``sizes``
@@ -186,6 +192,45 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None)
     bench.add_argument("--max-overhead", type=float, default=None)
     bench.add_argument("--trace-sample", default=None)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's figures and tables"
+    )
+    experiments.add_argument(
+        "names", nargs="*", metavar="NAME", help="experiments (default: all)"
+    )
+    experiments.add_argument(
+        "--quick", action="store_true", help="reduced profile for smoke runs"
+    )
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep (0 = one per CPU, default: serial)",
+    )
+    experiments.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="resumable cell cache directory",
+    )
+    experiments.add_argument(
+        "--progress",
+        action="store_true",
+        help="per-cell progress and speedup lines on stderr",
+    )
+    experiments.add_argument(
+        "--check",
+        action="store_true",
+        help="run the parallel-vs-serial determinism oracle instead",
+    )
+    experiments.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="with --check: write serial/parallel CSVs (and diffs) here",
+    )
 
     sub.add_parser("schemes", help="list scheme labels")
 
@@ -383,6 +428,29 @@ def _command_trace(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
+def _command_experiments(args: argparse.Namespace) -> int:
+    if args.check:
+        from repro.experiments import parallel
+
+        argv: List[str] = ["check", "--jobs", str(max(args.jobs, 2))]
+        if args.artifacts:
+            argv += ["--artifacts", args.artifacts]
+        argv += args.names
+        return parallel.main(argv)
+
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = list(args.names)
+    if args.quick:
+        argv.append("--quick")
+    argv += ["--jobs", str(args.jobs)]
+    if args.cache:
+        argv += ["--cache", args.cache]
+    if args.progress:
+        argv.append("--progress")
+    return experiments_main(argv)
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.obs import bench
 
@@ -434,6 +502,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_trace(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "experiments":
+        return _command_experiments(args)
     if args.command == "schemes":
         return _command_schemes()
     if args.command == "sizes":

@@ -3,13 +3,22 @@
     python -m repro.experiments                  # everything, full profile
     python -m repro.experiments --quick          # everything, reduced profile
     python -m repro.experiments faults           # one experiment by name
-    python -m repro.experiments faults --quick   # ... at the reduced profile
+    python -m repro.experiments fig5 --jobs 4    # shard cells over 4 workers
+    python -m repro.experiments --jobs 0 --cache results/.cells
+                                                 # one worker per CPU, resumable
+
+``--jobs`` shards every sweep's (scheme, x, seed) cells over worker
+processes (see :mod:`repro.experiments.parallel`); output is
+byte-identical to the serial run.  ``--cache DIR`` makes sweeps
+resumable: finished cells are stored on disk and a re-run only
+simulates the missing ones.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
+from typing import List, Optional
 
 from repro.experiments import FULL_PROFILE, QUICK_PROFILE
 from repro.experiments import (
@@ -22,8 +31,9 @@ from repro.experiments import (
     scalability,
     table1,
 )
+from repro.experiments.parallel import CellCache, make_executor
 
-#: Name -> module with a ``main(profile)`` entry point, in run order.
+#: Name -> module with a ``main(profile, ...)`` entry point, in run order.
 EXPERIMENTS = {
     "fig7": fig7,
     "fig5": fig5,
@@ -36,26 +46,67 @@ EXPERIMENTS = {
 }
 
 
-def main(argv=None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    profile = QUICK_PROFILE if "--quick" in args else FULL_PROFILE
-    label = "quick" if profile is QUICK_PROFILE else "full"
-    names = [a for a in args if not a.startswith("-")]
-    unknown = [n for n in names if n not in EXPERIMENTS]
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="regenerate the paper's figures and tables",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help=f"experiments to run (default: all; known: {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced profile for smoke runs"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep (0 = one per CPU, default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="resumable cell cache directory (restart a killed sweep for free)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="per-cell progress and wall/cpu speedup lines on stderr",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile = QUICK_PROFILE if args.quick else FULL_PROFILE
+    label = "quick" if args.quick else "full"
+    unknown = [n for n in args.names if n not in EXPERIMENTS]
     if unknown:
         known = ", ".join(EXPERIMENTS)
         print(f"Unknown experiment(s): {', '.join(unknown)}; known: {known}")
         return 2
-    selected = names or list(EXPERIMENTS)
+    selected = args.names or list(EXPERIMENTS)
+    executor = make_executor(args.jobs)
+    cache = CellCache(args.cache) if args.cache else None
 
     start = time.time()
-    print(f"Running {', '.join(selected)} at the {label} profile\n")
+    print(
+        f"Running {', '.join(selected)} at the {label} profile "
+        f"(jobs={executor.jobs})\n"
+    )
     for name in selected:
         module = EXPERIMENTS[name]
         if name == "fig7":
             module.main()  # analytic; no simulation profile
         else:
-            module.main(profile)
+            module.main(
+                profile, executor=executor, cache=cache, verbose=args.progress
+            )
     print(f"All experiments done in {time.time() - start:.0f}s")
     return 0
 

@@ -24,16 +24,14 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.parallel import Cell, SerialExecutor, SweepPlan, run_plan
 from repro.experiments.render import render_sweep, render_table
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     SweepResult,
-    run_point,
     write_sweep_csv,
 )
-from repro.experiments.schemes import scheme_factory
-from repro.runtime import Simulation
 from repro.stats.metrics import FAULT_COUNTERS
 
 #: Per-slot loss probabilities swept (0 = the perfect-channel baseline).
@@ -51,11 +49,31 @@ FAULT_SCHEMES: Sequence[str] = (
 RESULTS_DIR = Path("results")
 
 
+def plan(
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    loss_sweep: Sequence[float] = LOSS_SWEEP,
+) -> SweepPlan:
+    result = SweepPlan(
+        name="Faults: abort rate vs. slot loss probability",
+        x_label="slot_loss",
+        xs=[float(p) for p in loss_sweep],
+        y_label="abort rate",
+    )
+    for name in schemes:
+        for p in loss_sweep:
+            result.add(name, params.with_faults(slot_loss=p), p, series=name)
+    return result
+
+
 def run_loss_sweep(
     profile: ExperimentProfile = FULL_PROFILE,
     params: ModelParameters = DEFAULTS,
     schemes: Sequence[str] = FAULT_SCHEMES,
     loss_sweep: Sequence[float] = LOSS_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
 ) -> SweepResult:
     """Abort rate vs. independent per-slot loss probability.
 
@@ -63,19 +81,13 @@ def run_loss_sweep(
     whole cycles missed; the fault seed is pinned per simulation seed, so
     every scheme faces the *same* loss schedule at each x.
     """
-    sweep = SweepResult(
-        name="Faults: abort rate vs. slot loss probability",
-        x_label="slot_loss",
-        xs=[float(p) for p in loss_sweep],
-        y_label="abort rate",
+    return run_plan(
+        plan(params, schemes, loss_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
     )
-    for name in schemes:
-        factory = scheme_factory(name)
-        for p in loss_sweep:
-            point_params = params.with_faults(slot_loss=p)
-            point = run_point(point_params, factory, profile, label=name)
-            sweep.add_point(name, point, point.abort_rate)
-    return sweep
 
 
 def fault_counter_rows(
@@ -83,21 +95,29 @@ def fault_counter_rows(
     params: ModelParameters = DEFAULTS,
     schemes: Sequence[str] = FAULT_SCHEMES,
     slot_loss: float = 0.1,
+    executor=None,
 ):
     """One summary row of fault counters per scheme at a fixed loss rate."""
-    rows = []
-    for name in schemes:
-        factory = scheme_factory(name)
-        point_params = profile.apply(
-            params.with_faults(slot_loss=slot_loss), profile.seeds[0]
+    cells = [
+        Cell(
+            scheme=name,
+            params=profile.apply(
+                params.with_faults(slot_loss=slot_loss), profile.seeds[0]
+            ),
+            seed=profile.seeds[0],
         )
-        sim = Simulation(point_params, scheme_factory=factory)
-        result = sim.run()
+        for name in schemes
+    ]
+    results = (executor or SerialExecutor()).run(cells)
+    rows = []
+    for name, result in zip(schemes, results):
         summary = result.metrics.fault_summary()
+        ratio = result.metrics.get_ratio("attempt.committed")
+        abort_rate = ratio.complement if ratio and ratio.total else 0.0
         rows.append(
             [name]
             + [str(summary[counter]) for counter in FAULT_COUNTERS]
-            + [f"{result.abort_rate:.3f}"]
+            + [f"{abort_rate:.3f}"]
         )
     return rows
 
@@ -117,15 +137,20 @@ def write_csv(
     )
 
 
-def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
-    sweep = run_loss_sweep(profile)
+def main(
+    profile: ExperimentProfile = FULL_PROFILE,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> None:
+    sweep = run_loss_sweep(profile, executor=executor, cache=cache, verbose=verbose)
     print(render_sweep(sweep))
     path = write_csv(sweep, profile=profile)
     print(f"Wrote {path}\n")
     headers = ["scheme"] + [c.removeprefix("fault.") for c in FAULT_COUNTERS] + [
         "abort_rate"
     ]
-    rows = fault_counter_rows(profile)
+    rows = fault_counter_rows(profile, executor=executor)
     print(
         render_table(
             headers, rows, title="Fault counters at slot_loss=0.1 (first seed)"

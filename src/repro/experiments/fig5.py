@@ -12,17 +12,17 @@ overlap) and fall as the patterns diverge.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.parallel import SweepPlan, run_plan
 from repro.experiments.render import render_sweep
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     SweepResult,
-    run_point,
 )
-from repro.experiments.schemes import ABORTING_SCHEMES, scheme_factory
+from repro.experiments.schemes import ABORTING_SCHEMES
 
 #: Operations-per-query values swept in the left panel.
 OPS_SWEEP: Sequence[int] = (4, 8, 16, 24, 32, 48)
@@ -36,28 +36,60 @@ def _retention_for(ops: int) -> int:
     return max(16, ops + 8)
 
 
-def run_left(
-    profile: ExperimentProfile = FULL_PROFILE,
+def plan_left(
     params: ModelParameters = DEFAULTS,
     schemes: Sequence[str] = tuple(ABORTING_SCHEMES),
     ops_sweep: Sequence[int] = OPS_SWEEP,
-) -> SweepResult:
-    """Abort rate vs. number of operations per query."""
-    sweep = SweepResult(
+) -> SweepPlan:
+    plan = SweepPlan(
         name="Figure 5 (left): abort rate vs. operations per query",
         x_label="ops/query",
         xs=[float(x) for x in ops_sweep],
         y_label="abort rate",
     )
     for name in schemes:
-        factory = scheme_factory(name)
         for ops in ops_sweep:
             point_params = params.with_client(ops_per_query=ops).with_server(
                 retention=_retention_for(ops)
             )
-            point = run_point(point_params, factory, profile, label=name)
-            sweep.add_point(name, point, point.abort_rate)
-    return sweep
+            plan.add(name, point_params, ops, series=name)
+    return plan
+
+
+def run_left(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = tuple(ABORTING_SCHEMES),
+    ops_sweep: Sequence[int] = OPS_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> SweepResult:
+    """Abort rate vs. number of operations per query."""
+    return run_plan(
+        plan_left(params, schemes, ops_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
+    )
+
+
+def plan_right(
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = tuple(ABORTING_SCHEMES),
+    offset_sweep: Sequence[int] = OFFSET_SWEEP,
+) -> SweepPlan:
+    plan = SweepPlan(
+        name="Figure 5 (right): abort rate vs. offset",
+        x_label="offset",
+        xs=[float(x) for x in offset_sweep],
+        y_label="abort rate",
+    )
+    for name in schemes:
+        for offset in offset_sweep:
+            plan.add(name, params.with_server(offset=offset), offset, series=name)
+    return plan
 
 
 def run_right(
@@ -65,26 +97,29 @@ def run_right(
     params: ModelParameters = DEFAULTS,
     schemes: Sequence[str] = tuple(ABORTING_SCHEMES),
     offset_sweep: Sequence[int] = OFFSET_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
 ) -> SweepResult:
     """Abort rate vs. offset between read and update patterns."""
-    sweep = SweepResult(
-        name="Figure 5 (right): abort rate vs. offset",
-        x_label="offset",
-        xs=[float(x) for x in offset_sweep],
-        y_label="abort rate",
+    return run_plan(
+        plan_right(params, schemes, offset_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
     )
-    for name in schemes:
-        factory = scheme_factory(name)
-        for offset in offset_sweep:
-            point_params = params.with_server(offset=offset)
-            point = run_point(point_params, factory, profile, label=name)
-            sweep.add_point(name, point, point.abort_rate)
-    return sweep
 
 
-def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
-    print(render_sweep(run_left(profile)))
-    print(render_sweep(run_right(profile)))
+def main(
+    profile: ExperimentProfile = FULL_PROFILE,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> None:
+    common = dict(executor=executor, cache=cache, verbose=verbose)
+    print(render_sweep(run_left(profile, **common)))
+    print(render_sweep(run_right(profile, **common)))
 
 
 if __name__ == "__main__":

@@ -12,17 +12,39 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.parallel import SweepPlan, run_plan
 from repro.experiments.render import render_sweep
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     SweepResult,
-    run_point,
 )
-from repro.experiments.schemes import ABORTING_SCHEMES, scheme_factory
+from repro.experiments.schemes import ABORTING_SCHEMES
 
 #: Updates-per-cycle values swept (the paper's 50-500).
 UPDATE_SWEEP: Sequence[int] = (50, 125, 250, 375, 500)
+
+
+def plan(
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = tuple(ABORTING_SCHEMES),
+    update_sweep: Sequence[int] = UPDATE_SWEEP,
+) -> SweepPlan:
+    result = SweepPlan(
+        name="Figure 6: abort rate vs. updates per cycle",
+        x_label="updates",
+        xs=[float(u) for u in update_sweep],
+        y_label="abort rate",
+    )
+    for name in schemes:
+        for updates in update_sweep:
+            result.add(
+                name,
+                params.with_server(updates_per_cycle=updates),
+                updates,
+                series=name,
+            )
+    return result
 
 
 def run(
@@ -30,24 +52,26 @@ def run(
     params: ModelParameters = DEFAULTS,
     schemes: Sequence[str] = tuple(ABORTING_SCHEMES),
     update_sweep: Sequence[int] = UPDATE_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
 ) -> SweepResult:
-    sweep = SweepResult(
-        name="Figure 6: abort rate vs. updates per cycle",
-        x_label="updates",
-        xs=[float(u) for u in update_sweep],
-        y_label="abort rate",
+    return run_plan(
+        plan(params, schemes, update_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
     )
-    for name in schemes:
-        factory = scheme_factory(name)
-        for updates in update_sweep:
-            point_params = params.with_server(updates_per_cycle=updates)
-            point = run_point(point_params, factory, profile, label=name)
-            sweep.add_point(name, point, point.abort_rate)
-    return sweep
 
 
-def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
-    print(render_sweep(run(profile)))
+def main(
+    profile: ExperimentProfile = FULL_PROFILE,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> None:
+    print(render_sweep(run(profile, executor=executor, cache=cache, verbose=verbose)))
 
 
 if __name__ == "__main__":

@@ -18,14 +18,36 @@ from typing import Sequence
 
 from repro.config import DEFAULTS, ModelParameters
 from repro.experiments.fig5 import OFFSET_SWEEP, OPS_SWEEP, _retention_for
+from repro.experiments.parallel import SweepPlan, run_plan
 from repro.experiments.render import render_sweep
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     SweepResult,
-    run_point,
 )
-from repro.experiments.schemes import LATENCY_SCHEMES, scheme_factory
+from repro.experiments.schemes import LATENCY_SCHEMES
+
+
+def plan_left(
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = tuple(LATENCY_SCHEMES),
+    ops_sweep: Sequence[int] = OPS_SWEEP,
+) -> SweepPlan:
+    plan = SweepPlan(
+        name="Figure 8 (left): latency vs. operations per query",
+        x_label="ops/query",
+        xs=[float(x) for x in ops_sweep],
+        y_label="latency (cycles)",
+    )
+    for name in schemes:
+        for ops in ops_sweep:
+            point_params = params.with_client(ops_per_query=ops).with_server(
+                retention=_retention_for(ops)
+            )
+            plan.add(
+                name, point_params, ops, series=name, measure="mean_latency_cycles"
+            )
+    return plan
 
 
 def run_left(
@@ -33,47 +55,67 @@ def run_left(
     params: ModelParameters = DEFAULTS,
     schemes: Sequence[str] = tuple(LATENCY_SCHEMES),
     ops_sweep: Sequence[int] = OPS_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
 ) -> SweepResult:
-    sweep = SweepResult(
-        name="Figure 8 (left): latency vs. operations per query",
-        x_label="ops/query",
-        xs=[float(x) for x in ops_sweep],
-        y_label="latency (cycles)",
+    return run_plan(
+        plan_left(params, schemes, ops_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
     )
-    for name in schemes:
-        factory = scheme_factory(name)
-        for ops in ops_sweep:
-            point_params = params.with_client(ops_per_query=ops).with_server(
-                retention=_retention_for(ops)
-            )
-            point = run_point(point_params, factory, profile, label=name)
-            sweep.add_point(name, point, point.mean_latency_cycles)
-    return sweep
 
 
-def run_right(
-    profile: ExperimentProfile = FULL_PROFILE,
+def plan_right(
     params: ModelParameters = DEFAULTS,
     offset_sweep: Sequence[int] = OFFSET_SWEEP,
-) -> SweepResult:
-    sweep = SweepResult(
+) -> SweepPlan:
+    plan = SweepPlan(
         name="Figure 8 (right): multiversion latency vs. offset",
         x_label="offset",
         xs=[float(x) for x in offset_sweep],
         y_label="latency (cycles)",
     )
     for name in ("multiversion", "multiversion+cache"):
-        factory = scheme_factory(name)
         for offset in offset_sweep:
-            point_params = params.with_server(offset=offset)
-            point = run_point(point_params, factory, profile, label=name)
-            sweep.add_point(name, point, point.mean_latency_cycles)
-    return sweep
+            plan.add(
+                name,
+                params.with_server(offset=offset),
+                offset,
+                series=name,
+                measure="mean_latency_cycles",
+            )
+    return plan
 
 
-def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
-    print(render_sweep(run_left(profile), precision=2))
-    print(render_sweep(run_right(profile), precision=2))
+def run_right(
+    profile: ExperimentProfile = FULL_PROFILE,
+    params: ModelParameters = DEFAULTS,
+    offset_sweep: Sequence[int] = OFFSET_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> SweepResult:
+    return run_plan(
+        plan_right(params, offset_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
+    )
+
+
+def main(
+    profile: ExperimentProfile = FULL_PROFILE,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> None:
+    common = dict(executor=executor, cache=cache, verbose=verbose)
+    print(render_sweep(run_left(profile, **common), precision=2))
+    print(render_sweep(run_right(profile, **common), precision=2))
 
 
 if __name__ == "__main__":

@@ -14,44 +14,72 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.parallel import PointSpec, SweepPlan, run_plan
 from repro.experiments.render import render_sweep
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     SweepResult,
-    run_point,
 )
-from repro.experiments.schemes import scheme_factory
 
 RETENTION_SWEEP: Sequence[int] = (1, 2, 4, 8, 16, 24)
+
+
+def plan(
+    params: ModelParameters = DEFAULTS,
+    retention_sweep: Sequence[int] = RETENTION_SWEEP,
+) -> SweepPlan:
+    result = SweepPlan(
+        name="V-multiversion: abort rate and bcast cost vs. retained versions",
+        x_label="V",
+        xs=[float(v) for v in retention_sweep],
+        y_label="abort rate / slots per cycle",
+    )
+    for retention in retention_sweep:
+        result.points.append(
+            PointSpec(
+                scheme="multiversion",
+                params=params.with_server(retention=retention),
+                x=float(retention),
+                label=f"V={retention}",
+                measures=(
+                    ("abort_rate", "abort_rate"),
+                    ("slots_per_cycle", "mean_cycle_slots"),
+                ),
+            )
+        )
+    return result
 
 
 def run(
     profile: ExperimentProfile = FULL_PROFILE,
     params: ModelParameters = DEFAULTS,
     retention_sweep: Sequence[int] = RETENTION_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
 ) -> SweepResult:
-    sweep = SweepResult(
-        name="V-multiversion: abort rate and bcast cost vs. retained versions",
-        x_label="V",
-        xs=[float(v) for v in retention_sweep],
-        y_label="abort rate / slots per cycle",
+    return run_plan(
+        plan(params, retention_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
     )
-    factory = scheme_factory("multiversion")
-    for retention in retention_sweep:
-        point = run_point(
-            params.with_server(retention=retention),
-            factory,
-            profile,
-            label=f"V={retention}",
+
+
+def main(
+    profile: ExperimentProfile = FULL_PROFILE,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> None:
+    print(
+        render_sweep(
+            run(profile, executor=executor, cache=cache, verbose=verbose),
+            precision=3,
         )
-        sweep.add_point("abort_rate", point, point.abort_rate)
-        sweep.add_point("slots_per_cycle", point, point.mean_cycle_slots)
-    return sweep
-
-
-def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
-    print(render_sweep(run(profile), precision=3))
+    )
 
 
 if __name__ == "__main__":

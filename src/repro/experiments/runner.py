@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.config import ModelParameters
 from repro.core.base import Scheme
@@ -123,18 +123,53 @@ class PointResult:
 
 def run_point(
     params: ModelParameters,
-    factory: Callable[[], Scheme],
+    scheme: Union[str, Callable[[], Scheme]],
     profile: ExperimentProfile,
     label: str = "",
+    executor=None,
+    options=None,
     **simulation_kwargs,
 ) -> PointResult:
-    """Run one configuration once per seed and merge the outcomes."""
-    point = PointResult(scheme=label or factory().label)
+    """Run one configuration once per seed and merge the outcomes.
+
+    ``scheme`` is preferably a registry name (see
+    :mod:`repro.experiments.schemes`): named schemes run through the
+    cell machinery of :mod:`repro.experiments.parallel`, so an
+    ``executor`` can fan the seeds out over worker processes and
+    ``options`` (a :class:`~repro.experiments.parallel.CellOptions`)
+    declares the non-default simulation knobs picklably.
+
+    A factory callable -- or any extra ``simulation_kwargs`` -- cannot
+    cross a process boundary, so those points always run inline; the
+    point's label is resolved lazily from the first run's scheme label
+    instead of constructing a throwaway scheme instance.
+    """
+    if isinstance(scheme, str) and not simulation_kwargs:
+        from repro.experiments.parallel import run_point_cells
+
+        return run_point_cells(
+            scheme,
+            params,
+            profile,
+            label=label,
+            executor=executor,
+            options=options,
+        )
+
+    factory = scheme if callable(scheme) else None
+    if factory is None:
+        from repro.experiments.schemes import scheme_factory
+
+        factory = scheme_factory(scheme)
+    point = PointResult(scheme=label)
     for seed in profile.seeds:
         sim = Simulation(
             profile.apply(params, seed), scheme_factory=factory, **simulation_kwargs
         )
-        point.fold(sim.run())
+        result = sim.run()
+        if not point.scheme:
+            point.scheme = result.scheme_label
+        point.fold(result)
     return point
 
 
@@ -165,6 +200,8 @@ def write_sweep_csv(
             warmup_cycles=profile.warmup_cycles,
             num_clients=profile.num_clients,
         )
+    if sweep.stats is not None:
+        manifest_extra.update(sweep.stats.manifest_extra())
     manifest_extra.update(extra or {})
     manifest_path = write_manifest(
         str(target.with_suffix(".manifest.json")),
@@ -180,6 +217,40 @@ def write_sweep_csv(
 
 
 @dataclass
+class SweepStats:
+    """Execution accounting for one sweep (how, not what).
+
+    Deliberately separate from the measurements themselves: two runs of the
+    same sweep at different ``--jobs`` produce identical series but
+    different stats, so stats go to the manifest, never the CSV rows.
+    """
+
+    jobs: int = 1
+    cells: int = 0
+    cached: int = 0
+    wall_s: float = 0.0
+    #: Sum of per-cell durations (excludes cached cells).
+    cpu_s: float = 0.0
+    #: Per-cell wall durations, in cell order (0.0 for cached cells).
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate cell time over wall time: the parallel win."""
+        return self.cpu_s / self.wall_s if self.wall_s else float("nan")
+
+    def manifest_extra(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "cells": self.cells,
+            "cached_cells": self.cached,
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "cell_durations": list(self.durations),
+        }
+
+
+@dataclass
 class SweepResult:
     """A family of series over one swept parameter (one figure panel)."""
 
@@ -191,13 +262,25 @@ class SweepResult:
     series: Dict[str, List[float]] = field(default_factory=dict)
     #: series label -> PointResult per x, for deeper inspection.
     points: Dict[str, List[PointResult]] = field(default_factory=dict)
+    #: Execution accounting when run through the parallel machinery.
+    stats: Optional[SweepStats] = None
 
     def add_point(self, series: str, point: PointResult, y: float) -> None:
         self.series.setdefault(series, []).append(y)
         self.points.setdefault(series, []).append(point)
 
     def y(self, series: str, x: float) -> float:
-        return self.series[series][self.xs.index(x)]
+        """The series value at ``x``, matching floats tolerantly.
+
+        Sweeps store x values as floats, so a caller asking for the
+        value at e.g. ``0.30000000000000004`` (a sum of thirds) or at
+        the int ``24`` must still hit the right column; exact
+        ``list.index`` matching raised spurious ``ValueError``s.
+        """
+        for i, known in enumerate(self.xs):
+            if math.isclose(known, x, rel_tol=1e-9, abs_tol=1e-12):
+                return self.series[series][i]
+        raise ValueError(f"x={x!r} is not a swept value (xs={self.xs})")
 
     def monotone_increasing(self, series: str, tolerance: float = 0.0) -> bool:
         """Shape check helper: is the series non-decreasing (within

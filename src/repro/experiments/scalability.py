@@ -12,16 +12,43 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.parallel import PointSpec, SweepPlan, run_plan
 from repro.experiments.render import render_sweep
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     SweepResult,
-    run_point,
 )
-from repro.experiments.schemes import scheme_factory
 
 CLIENT_SWEEP: Sequence[int] = (1, 2, 4, 8, 16, 32)
+
+
+def plan(
+    params: ModelParameters = DEFAULTS,
+    scheme: str = "sgt+cache",
+    client_sweep: Sequence[int] = CLIENT_SWEEP,
+) -> SweepPlan:
+    result = SweepPlan(
+        name=f"Scalability: per-client quality vs. client count ({scheme})",
+        x_label="clients",
+        xs=[float(n) for n in client_sweep],
+        y_label="abort rate / latency",
+    )
+    for clients in client_sweep:
+        result.points.append(
+            PointSpec(
+                scheme=scheme,
+                params=params,
+                x=float(clients),
+                label=scheme,
+                measures=(
+                    ("abort_rate", "abort_rate"),
+                    ("latency_cycles", "mean_latency_cycles"),
+                ),
+                clients=clients,
+            )
+        )
+    return result
 
 
 def run(
@@ -29,29 +56,31 @@ def run(
     params: ModelParameters = DEFAULTS,
     scheme: str = "sgt+cache",
     client_sweep: Sequence[int] = CLIENT_SWEEP,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
 ) -> SweepResult:
-    sweep = SweepResult(
-        name=f"Scalability: per-client quality vs. client count ({scheme})",
-        x_label="clients",
-        xs=[float(n) for n in client_sweep],
-        y_label="abort rate / latency",
+    return run_plan(
+        plan(params, scheme, client_sweep),
+        profile,
+        executor=executor,
+        cache=cache,
+        verbose=verbose,
     )
-    factory = scheme_factory(scheme)
-    for clients in client_sweep:
-        point_profile = ExperimentProfile(
-            num_cycles=profile.num_cycles,
-            warmup_cycles=profile.warmup_cycles,
-            num_clients=clients,
-            seeds=profile.seeds,
+
+
+def main(
+    profile: ExperimentProfile = FULL_PROFILE,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> None:
+    print(
+        render_sweep(
+            run(profile, executor=executor, cache=cache, verbose=verbose),
+            precision=3,
         )
-        point = run_point(params, factory, point_profile, label=scheme)
-        sweep.add_point("abort_rate", point, point.abort_rate)
-        sweep.add_point("latency_cycles", point, point.mean_latency_cycles)
-    return sweep
-
-
-def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
-    print(render_sweep(run(profile), precision=3))
+    )
 
 
 if __name__ == "__main__":

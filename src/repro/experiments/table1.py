@@ -18,12 +18,11 @@ judgement with a number:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.client.disconnect import RandomDisconnections
 from repro.config import DEFAULTS, ModelParameters
+from repro.experiments.parallel import CellOptions, DisconnectSpec
 from repro.experiments.render import render_table
 from repro.experiments.runner import (
     ExperimentProfile,
@@ -31,7 +30,6 @@ from repro.experiments.runner import (
     PointResult,
     run_point,
 )
-from repro.experiments.schemes import scheme_factory
 from repro.server.sizing import SizeModel
 
 #: The four columns of the paper's Table 1 (scheme registry labels).
@@ -96,6 +94,7 @@ def run(
     profile: ExperimentProfile = FULL_PROFILE,
     params: ModelParameters = DEFAULTS,
     p_disconnect: float = 0.05,
+    executor=None,
 ) -> Table1Result:
     connected: Dict[str, PointResult] = {}
     disconnected: Dict[str, PointResult] = {}
@@ -105,17 +104,22 @@ def run(
     model = SizeModel(params.server)
     sizing_row = model.figure7_row(updates=50, span=3)
 
+    disconnect_options = CellOptions(
+        disconnect=DisconnectSpec(
+            p_disconnect=p_disconnect, mean_outage_cycles=1.5
+        )
+    )
     for name in TABLE1_SCHEMES:
-        factory = scheme_factory(name)
-        connected[name] = run_point(params, factory, profile, label=name)
+        connected[name] = run_point(
+            params, name, profile, label=name, executor=executor
+        )
         disconnected[name] = run_point(
             params,
-            factory,
+            name,
             profile,
             label=name,
-            disconnect_factory=lambda rng: RandomDisconnections(
-                p_disconnect=p_disconnect, mean_outage_cycles=1.5, rng=rng
-            ),
+            executor=executor,
+            options=disconnect_options,
         )
         size_increase[name] = sizing_row[_SIZING_KEY[name]]
         # Control share measured from the actual run's mean slot counts.
@@ -132,8 +136,13 @@ def run(
     )
 
 
-def main(profile: ExperimentProfile = FULL_PROFILE) -> None:
-    print(run(profile).render())
+def main(
+    profile: ExperimentProfile = FULL_PROFILE,
+    executor=None,
+    cache=None,
+    verbose: bool = False,
+) -> None:
+    print(run(profile, executor=executor).render())
 
 
 if __name__ == "__main__":

@@ -47,6 +47,11 @@ EV_CYCLE_START = "cycle.start"
 EV_CYCLE_END = "cycle.end"
 EV_PROGRAM_BUILD = "program.build"
 
+# CYCLE level, emitted by the sweep harness (O(cells), outside any one
+# simulation): per-cell completion and whole-sweep wall/cpu accounting.
+EV_SWEEP_CELL = "sweep.cell"
+EV_SWEEP_DONE = "sweep.done"
+
 # QUERY level (client side, O(attempts)).
 EV_QUERY_BEGIN = "query.begin"
 EV_QUERY_ACCEPT = "query.accept"

@@ -1,0 +1,164 @@
+"""Edge cases for the experiment runner's fold/merge arithmetic.
+
+Covers the corners the figure sweeps normally never hit: points whose
+simulations produced no attempts at all, results with missing samplers,
+NaN propagation through every derived measure, and the float-tolerant
+``SweepResult.y`` lookup.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import PointResult, SweepResult
+from repro.stats.metrics import MetricsRegistry
+
+#: Every derived property of PointResult, for exhaustive NaN checks.
+DERIVED_PROPERTIES = (
+    "abort_rate",
+    "acceptance_rate",
+    "mean_latency_cycles",
+    "mean_span",
+    "mean_currency_lag",
+    "mean_cycle_slots",
+    "query_completion_rate",
+)
+
+
+class FakeResult:
+    """The duck type ``PointResult.fold`` consumes: metrics + slot mean."""
+
+    def __init__(self, metrics=None, mean_cycle_slots=10.0):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.mean_cycle_slots = mean_cycle_slots
+
+
+# -- PointResult.fold edge cases -------------------------------------------
+
+
+def test_fresh_point_has_nan_everywhere():
+    point = PointResult(scheme="empty")
+    for name in DERIVED_PROPERTIES:
+        assert math.isnan(getattr(point, name)), name
+
+
+def test_fold_zero_attempt_result_keeps_rates_nan():
+    """A run where no transaction ever started must not fake a rate."""
+    point = PointResult(scheme="idle")
+    point.fold(FakeResult(mean_cycle_slots=8.0))
+    assert point.attempts == 0
+    assert math.isnan(point.abort_rate)
+    assert math.isnan(point.acceptance_rate)
+    assert math.isnan(point.query_completion_rate)
+    # Slot accounting still folds: the broadcast ran even if nobody read.
+    assert point.mean_cycle_slots == 8.0
+
+
+def test_fold_missing_samplers_leaves_means_nan():
+    """Commits without latency/span/currency samplers: rates yes, means no."""
+    metrics = MetricsRegistry()
+    metrics.ratio("attempt.committed").record_many(3, 4)
+    point = PointResult(scheme="partial")
+    point.fold(FakeResult(metrics=metrics))
+    assert point.abort_rate == pytest.approx(0.25)
+    assert point.acceptance_rate == pytest.approx(0.75)
+    assert math.isnan(point.mean_latency_cycles)
+    assert math.isnan(point.mean_span)
+    assert math.isnan(point.mean_currency_lag)
+
+
+def test_fold_empty_sampler_is_skipped():
+    """A sampler that exists but has zero observations contributes nothing."""
+    metrics = MetricsRegistry()
+    metrics.sampler("txn.latency_cycles")  # created, never observed
+    point = PointResult(scheme="empty-sampler")
+    point.fold(FakeResult(metrics=metrics))
+    assert point.latency_n == 0
+    assert math.isnan(point.mean_latency_cycles)
+
+
+def test_fold_accumulates_weighted_means_across_results():
+    first = MetricsRegistry()
+    for value in (2.0, 4.0):
+        first.observe("txn.latency_cycles", value)
+    second = MetricsRegistry()
+    second.observe("txn.latency_cycles", 9.0)
+
+    point = PointResult(scheme="merge")
+    point.fold(FakeResult(metrics=first, mean_cycle_slots=10.0))
+    point.fold(FakeResult(metrics=second, mean_cycle_slots=20.0))
+    assert point.latency_n == 3
+    assert point.mean_latency_cycles == pytest.approx(5.0)
+    assert point.mean_cycle_slots == pytest.approx(15.0)
+
+
+def test_fold_nan_sample_poisons_only_its_own_mean():
+    """A NaN observation propagates to that mean and nothing else."""
+    metrics = MetricsRegistry()
+    metrics.observe("txn.latency_cycles", float("nan"))
+    metrics.observe("txn.span", 3.0)
+    metrics.ratio("attempt.committed").record_many(1, 1)
+    point = PointResult(scheme="nan-sample")
+    point.fold(FakeResult(metrics=metrics))
+    assert math.isnan(point.mean_latency_cycles)
+    assert point.mean_span == pytest.approx(3.0)
+    assert point.acceptance_rate == pytest.approx(1.0)
+
+
+def test_fold_nan_slot_mean_propagates():
+    point = PointResult(scheme="nan-slots")
+    point.fold(FakeResult(mean_cycle_slots=float("nan")))
+    point.fold(FakeResult(mean_cycle_slots=12.0))
+    assert math.isnan(point.mean_cycle_slots)
+
+
+def test_fold_nan_then_derived_nan_everywhere_it_should_be():
+    """NaN inputs reach every derived property wired to them."""
+    metrics = MetricsRegistry()
+    for name in ("txn.latency_cycles", "txn.span", "txn.currency_lag"):
+        metrics.observe(name, float("nan"))
+    point = PointResult(scheme="all-nan")
+    point.fold(FakeResult(metrics=metrics, mean_cycle_slots=float("nan")))
+    for name in (
+        "mean_latency_cycles",
+        "mean_span",
+        "mean_currency_lag",
+        "mean_cycle_slots",
+    ):
+        assert math.isnan(getattr(point, name)), name
+
+
+# -- SweepResult.y float matching ------------------------------------------
+
+
+def _sweep(xs):
+    sweep = SweepResult(name="t", x_label="x", xs=list(xs), y_label="y")
+    for i, _ in enumerate(xs):
+        sweep.add_point("s", PointResult(scheme="s"), float(i))
+    return sweep
+
+
+def test_y_matches_float_accumulation_noise():
+    """Regression: 0.1+0.2 stored as x must be retrievable as 0.3."""
+    noisy = 0.1 + 0.2  # 0.30000000000000004
+    sweep = _sweep([0.0, noisy, 1.0])
+    assert sweep.y("s", 0.3) == 1.0
+    assert sweep.y("s", noisy) == 1.0
+
+
+def test_y_matches_int_against_stored_float():
+    sweep = _sweep([8.0, 16.0, 24.0])
+    assert sweep.y("s", 24) == 2.0
+
+
+def test_y_unknown_x_raises_with_context():
+    sweep = _sweep([1.0, 2.0])
+    with pytest.raises(ValueError, match=r"x=3\.5 is not a swept value"):
+        sweep.y("s", 3.5)
+
+
+def test_y_does_not_conflate_distinct_close_points():
+    """Tolerance is tight: genuinely different xs stay distinct."""
+    sweep = _sweep([1.0, 1.001])
+    assert sweep.y("s", 1.001) == 1.0
+    assert sweep.y("s", 1.0) == 0.0
