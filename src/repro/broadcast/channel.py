@@ -37,6 +37,10 @@ class BroadcastChannel:
         self._program: Optional[BroadcastProgram] = None
         self._cycle_start_time: float = 0.0
         self._listeners: List[ChannelListener] = []
+        #: Bound ``on_interim_report`` methods, resolved once at subscribe
+        #: time: publishing a mid-cycle report must not pay a per-listener
+        #: ``getattr`` scan on the hot path.
+        self._interim_handlers: List[Any] = []
         self._cycle_started: Event = env.event()
 
     # -- server side -------------------------------------------------------
@@ -58,16 +62,28 @@ class BroadcastChannel:
         Listeners that implement ``on_interim_report`` receive it; others
         are unaffected (the main per-cycle report still covers everything).
         """
-        for listener in self._listeners:
-            handler = getattr(listener, "on_interim_report", None)
-            if handler is not None:
-                handler(report)
+        for handler in self._interim_handlers:
+            handler(report)
 
     def subscribe(self, listener: ChannelListener) -> None:
         self._listeners.append(listener)
+        handler = getattr(listener, "on_interim_report", None)
+        if handler is not None:
+            self._interim_handlers.append(handler)
 
     def unsubscribe(self, listener: ChannelListener) -> None:
-        self._listeners.remove(listener)
+        """Detach ``listener``; detaching one that is already gone is a
+        no-op (a disconnect storm may race a client-initiated detach)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            return
+        handler = getattr(listener, "on_interim_report", None)
+        if handler is not None:
+            try:
+                self._interim_handlers.remove(handler)
+            except ValueError:  # pragma: no cover - defensive
+                pass
 
     # -- state -----------------------------------------------------------------
 
@@ -161,7 +177,9 @@ class BroadcastChannel:
                     # Required version discarded from the air: abort.
                     return (None, False, None)
                 old, slot = hit
-                if slot + 0.5 > now_rel:
+                # Delivery-instant inclusive, like next_slot_of: a process
+                # resuming exactly at the delivery time still hears it.
+                if slot + 0.5 >= now_rel:
                     yield self.env.timeout(self.delivery_time(slot) - self.env.now)
                     record = ItemRecord(
                         item=old.item,

@@ -22,6 +22,7 @@ the channel then transmits bucket by bucket:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -113,6 +114,15 @@ class BroadcastProgram:
         Extra index segment (clustered multiversion organization only).
     data_buckets / overflow_buckets:
         The payload.
+    layout / records:
+        Fast path for the incremental cycle build (see
+        :class:`~repro.server.broadcast.ProgramBuilder`): ``layout`` maps
+        each item to its sorted tuple of data-bucket offsets and
+        ``records`` to its current :class:`ItemRecord`.  The layout is
+        *shared* between consecutive programs -- item positions inside the
+        data segment are fixed in the flat and overflow organizations --
+        so it must never be mutated; ``records`` is owned by this program.
+        When omitted, both indexes are built by scanning the buckets.
     """
 
     def __init__(
@@ -124,6 +134,9 @@ class BroadcastProgram:
         control_slots: int = 1,
         index_slots: int = 0,
         organization: MultiversionOrganization = MultiversionOrganization.NONE,
+        *,
+        layout: Optional[Dict[int, Tuple[int, ...]]] = None,
+        records: Optional[Dict[int, ItemRecord]] = None,
     ) -> None:
         if control_slots < 1:
             raise ValueError("control_slots must be at least 1")
@@ -140,14 +153,24 @@ class BroadcastProgram:
         self._overflow_start = self._data_start + len(self.data_buckets)
         self.total_slots = self._overflow_start + len(self.overflow_buckets)
 
-        # item -> every slot it appears in (broadcast disks repeat items).
-        self._item_slots: Dict[int, List[int]] = {}
-        self._item_records: Dict[int, ItemRecord] = {}
-        for offset, bucket in enumerate(self.data_buckets):
-            slot = self._data_start + offset
-            for record in bucket.records:
-                self._item_slots.setdefault(record.item, []).append(slot)
-                self._item_records[record.item] = record
+        # item -> every data-bucket offset it appears in, sorted ascending
+        # (broadcast disks repeat items).  Offsets are cycle-invariant even
+        # though absolute slots shift with the control segment's length.
+        scanned_data = layout is None or records is None
+        if scanned_data:
+            offsets: Dict[int, List[int]] = {}
+            record_map: Dict[int, ItemRecord] = {}
+            for offset, bucket in enumerate(self.data_buckets):
+                for record in bucket.records:
+                    offsets.setdefault(record.item, []).append(offset)
+                    record_map[record.item] = record
+            self._item_offsets: Dict[int, Tuple[int, ...]] = {
+                item: tuple(offs) for item, offs in offsets.items()
+            }
+            self._item_records = record_map
+        else:
+            self._item_offsets = layout
+            self._item_records = records
 
         # Old versions: item -> records, plus the slot each rides in.
         self._old_versions: Dict[int, List[Tuple[OldVersionRecord, int]]] = {}
@@ -156,10 +179,13 @@ class BroadcastProgram:
             for old in bucket.old_records:
                 self._old_versions.setdefault(old.item, []).append((old, slot))
         # Clustered organization: old versions ride in the data buckets.
-        for offset, bucket in enumerate(self.data_buckets):
-            slot = self._data_start + offset
-            for old in bucket.old_records:
-                self._old_versions.setdefault(old.item, []).append((old, slot))
+        # The incremental path never carries old records there (flat and
+        # overflow layouts only), so the scan is skipped with the layout.
+        if scanned_data:
+            for offset, bucket in enumerate(self.data_buckets):
+                slot = self._data_start + offset
+                for old in bucket.old_records:
+                    self._old_versions.setdefault(old.item, []).append((old, slot))
 
     # -- lookups --------------------------------------------------------------
 
@@ -176,19 +202,35 @@ class BroadcastProgram:
 
     def slots_of(self, item: int) -> List[int]:
         """All slots (cycle-relative) carrying ``item``'s current value."""
-        slots = self._item_slots.get(item)
-        if not slots:
+        offsets = self._item_offsets.get(item)
+        if not offsets:
             raise KeyError(f"Item {item} is not in this broadcast")
-        return list(slots)
+        start = self._data_start
+        return [start + offset for offset in offsets]
 
     def next_slot_of(self, item: int, after: float) -> Optional[int]:
-        """First slot of ``item`` whose delivery is strictly after
-        cycle-relative time ``after``; ``None`` if it has already flown by
-        (the client must wait for the next cycle)."""
-        for slot in self._item_slots.get(item, ()):
-            if slot + 0.5 > after:
-                return slot
-        return None
+        """First slot of ``item`` delivered *at or after* cycle-relative
+        time ``after``; ``None`` if every copy has already flown by (the
+        client must wait for the next cycle).
+
+        A bucket is delivered at the middle of its slot, and the delivery
+        instant is inclusive: a process that wakes exactly at
+        ``delivery_time(slot)`` (e.g. resuming from a timeout landing on
+        the boundary, or reading a second item out of the bucket it just
+        heard) still receives that copy.  The earlier strict ``>`` made
+        such a process silently wait a full extra cycle.
+        """
+        offsets = self._item_offsets.get(item)
+        if not offsets:
+            return None
+        start = self._data_start
+        if len(offsets) == 1:  # flat layout: one copy per cycle
+            slot = start + offsets[0]
+            return slot if slot + 0.5 >= after else None
+        index = bisect_left(offsets, after, key=lambda o: start + o + 0.5)
+        if index == len(offsets):
+            return None
+        return start + offsets[index]
 
     def old_version_at(
         self, item: int, cycle: int
@@ -207,10 +249,10 @@ class BroadcastProgram:
     def page_of(self, item: int) -> int:
         """Logical page (data-bucket index) of ``item`` -- the granularity
         of cache invalidation and of the bucket-level reports (§7)."""
-        slots = self._item_slots.get(item)
-        if not slots:
+        offsets = self._item_offsets.get(item)
+        if not offsets:
             raise KeyError(f"Item {item} is not in this broadcast")
-        return slots[0] - self._data_start
+        return offsets[0]
 
     def old_versions_of(self, item: int) -> List[OldVersionRecord]:
         return [old for old, _ in self._old_versions.get(item, ())]

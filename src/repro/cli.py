@@ -187,11 +187,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="simulator throughput / tracing-overhead benchmark"
     )
+    bench.add_argument(
+        "suite",
+        nargs="?",
+        default="overhead",
+        choices=["overhead", "hotpath"],
+        help="overhead: whole-run tracing cost (default); "
+        "hotpath: per-event kernel micro-suite (see repro.obs.hotpath)",
+    )
     bench.add_argument("--scenario", default="fig5")
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--out", default=None)
     bench.add_argument("--max-overhead", type=float, default=None)
     bench.add_argument("--trace-sample", default=None)
+    hot = bench.add_argument_group(
+        "hotpath suite", "options for `repro bench hotpath`"
+    )
+    hot.add_argument(
+        "--quick", action="store_true", help="reduced sizes for smoke runs"
+    )
+    hot.add_argument(
+        "--before",
+        default=None,
+        metavar="FILE",
+        help="embed an earlier payload and record speedup ratios",
+    )
+    hot.add_argument(
+        "--against",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON for the events/sec regression gate",
+    )
+    hot.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        metavar="FRACTION",
+        help="allowed events/sec drop vs --against (default: 0.2)",
+    )
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's figures and tables"
@@ -452,6 +485,21 @@ def _command_experiments(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
+    if args.suite == "hotpath":
+        from repro.obs import hotpath
+
+        argv = ["--repeats", str(args.repeats)]
+        if args.out:
+            argv += ["--out", args.out]
+        if args.quick:
+            argv.append("--quick")
+        if args.before:
+            argv += ["--before", args.before]
+        if args.against:
+            argv += ["--against", args.against]
+        argv += ["--max-regression", str(args.max_regression)]
+        return hotpath.main(argv)
+
     from repro.obs import bench
 
     argv = ["--scenario", args.scenario, "--repeats", str(args.repeats)]

@@ -70,6 +70,9 @@ class FaultyChannel:
         self._trace_q = gate(tracer, "queries")
         self._trace_r = gate(tracer, "reads")
         self._listeners: List[ChannelListener] = []
+        #: Bound ``on_interim_report`` methods, resolved at subscribe time
+        #: (mirrors :class:`BroadcastChannel`: no per-publish getattr).
+        self._interim_handlers: List = []
         self._cycle_started: Event = self.env.event()
         #: The last program whose control segment the client decoded --
         #: the client's *knowledge*, not what is physically on the air.
@@ -151,10 +154,8 @@ class FaultyChannel:
         """
         if not self._synced:
             return
-        for listener in list(self._listeners):
-            handler = getattr(listener, "on_interim_report", None)
-            if handler is not None:
-                handler(report)
+        for handler in list(self._interim_handlers):
+            handler(report)
 
     def _install_later(self, program, lost, delay):
         generation = self._generation
@@ -185,9 +186,22 @@ class FaultyChannel:
 
     def subscribe(self, listener: ChannelListener) -> None:
         self._listeners.append(listener)
+        handler = getattr(listener, "on_interim_report", None)
+        if handler is not None:
+            self._interim_handlers.append(handler)
 
     def unsubscribe(self, listener: ChannelListener) -> None:
-        self._listeners.remove(listener)
+        """Idempotent, like :meth:`BroadcastChannel.unsubscribe`."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            return
+        handler = getattr(listener, "on_interim_report", None)
+        if handler is not None:
+            try:
+                self._interim_handlers.remove(handler)
+            except ValueError:  # pragma: no cover - defensive
+                pass
 
     @property
     def program(self) -> BroadcastProgram:
@@ -245,11 +259,15 @@ class FaultyChannel:
             if self._program is not None and self._synced:
                 program = self._program
                 slot = program.next_slot_of(item, self.relative_now())
-                if slot is not None:
+                while slot is not None:
                     yield self.env.timeout(self.delivery_time(slot) - self.env.now)
                     if self._receivable(slot):
                         return (program.record_of(item), program.cycle)
-                    continue
+                    # This copy was lost.  The delivery instant is
+                    # inclusive, so re-asking at the same instant would
+                    # return the same slot forever; resume strictly
+                    # after it (integer slots: next copy >= slot + 1).
+                    slot = program.next_slot_of(item, slot + 1)
             yield self.cycle_started()
 
     def await_old_version(self, item: int, cycle: int):
@@ -265,18 +283,21 @@ class FaultyChannel:
             current = program.record_of(item)
             if current.version <= cycle:
                 slot = program.next_slot_of(item, now_rel)
-                if slot is not None:
+                while slot is not None:
                     yield self.env.timeout(self.delivery_time(slot) - self.env.now)
                     if self._receivable(slot):
                         return (current, True, None)
-                    continue
+                    # Lost copy: resume strictly after it (the inclusive
+                    # delivery instant would yield the same slot again).
+                    slot = program.next_slot_of(item, slot + 1)
             else:
                 hit = program.old_version_at(item, cycle)
                 if hit is None:
                     # Required version discarded from the air: abort.
                     return (None, False, None)
                 old, slot = hit
-                if slot + 0.5 > now_rel:
+                # Delivery-instant inclusive (see BroadcastChannel).
+                if slot + 0.5 >= now_rel:
                     yield self.env.timeout(self.delivery_time(slot) - self.env.now)
                     if self._receivable(slot):
                         record = ItemRecord(
@@ -286,6 +307,7 @@ class FaultyChannel:
                             writer=old.writer,
                         )
                         return (record, True, old.valid_to)
-                    continue
+                    # An old version rides exactly one slot per cycle;
+                    # losing it means waiting for the next heard cycle.
             # Missed this cycle's copy; try again next heard cycle.
             yield self.cycle_started()

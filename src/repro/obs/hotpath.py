@@ -1,0 +1,450 @@
+"""Hot-path micro-suite: the per-event kernel under a magnifying glass.
+
+Where :mod:`repro.obs.bench` times whole simulations to price the tracing
+subsystem, this suite isolates the three layers the simulator spends its
+life in, so a kernel change can be attributed to the layer it touched:
+
+* ``dispatch``  -- a pure engine ping benchmark (processes trading
+  timeouts, no broadcast machinery): events per second through
+  :meth:`repro.sim.engine.Environment.run`;
+* ``programs``  -- :class:`repro.server.broadcast.ProgramBuilder` builds
+  per second while a real :class:`TransactionEngine` advances the
+  database between builds, for both the flat and the overflow layout
+  (and, when the builder supports it, with the incremental cycle build
+  disabled, so the copy-on-write win is measured, not asserted);
+* ``clients``   -- full simulations at 1/10/100 clients: cycles per
+  second and events per second, the end-to-end number the ROADMAP's
+  "fast as the hardware allows" is judged by;
+* ``profile``   -- one run under :mod:`cProfile`, top-N functions by
+  cumulative time, so the next optimization pass starts from evidence.
+
+Run as a module::
+
+    python -m repro.obs.hotpath --out results/BENCH_hotpath.json
+    python -m repro.obs.hotpath --quick --against results/BENCH_hotpath.json
+
+``--before FILE`` embeds a previously captured payload under ``before``
+and records honest speedup ratios next to the fresh numbers.
+``--against FILE --max-regression 0.2`` turns the dispatch events/sec
+comparison into an exit code for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import gc
+import inspect
+import json
+import os
+import platform
+import pstats
+import random
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import DEFAULTS, ModelParameters
+from repro.obs.manifest import git_revision, package_versions
+
+#: Suite layout: (clients tried by the end-to-end benchmark).
+CLIENT_COUNTS = (1, 10, 100)
+
+
+# -- dispatch: the bare engine ---------------------------------------------
+
+
+def _dispatch_once(processes: int, hops: int) -> Dict[str, float]:
+    """Ping benchmark: ``processes`` generators each awaiting ``hops``
+    timeouts with co-prime delays (so the heap stays busy and events
+    interleave rather than batching at one instant)."""
+    from repro.sim.engine import Environment
+
+    env = Environment()
+
+    def ping(env, delay):
+        for _ in range(hops):
+            yield env.timeout(delay)
+
+    for i in range(processes):
+        env.process(ping(env, 1.0 + (i % 7) * 0.25))
+    gc.collect()
+    start = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "events": float(env.events_processed),
+        "events_per_sec": env.events_processed / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_dispatch(repeats: int, processes: int = 64, hops: int = 2000) -> Dict[str, float]:
+    best: Optional[Dict[str, float]] = None
+    for _ in range(max(1, repeats)):
+        sample = _dispatch_once(processes, hops)
+        if best is None or sample["seconds"] < best["seconds"]:
+            best = sample
+    assert best is not None
+    best["processes"] = float(processes)
+    best["hops"] = float(hops)
+    return best
+
+
+# -- programs: the per-cycle builder ---------------------------------------
+
+
+def _builder_supports_incremental() -> bool:
+    from repro.server.broadcast import ProgramBuilder
+
+    return "incremental" in inspect.signature(ProgramBuilder.__init__).parameters
+
+
+def _programs_once(
+    cycles: int, organization: Optional[str], incremental: bool
+) -> Dict[str, float]:
+    """Time ``cycles`` builder invocations while a real engine advances
+    the database between them (the server loop minus the channel)."""
+    from repro.core.control import BroadcastRequirements
+    from repro.server.broadcast import ProgramBuilder
+    from repro.server.database import Database
+    from repro.server.transactions import TransactionEngine
+    from repro.server.versions import VersionStore
+
+    params = DEFAULTS.server
+    database = Database(params.broadcast_size)
+    requirements = BroadcastRequirements()
+    version_store = None
+    if organization is not None:
+        requirements = BroadcastRequirements(
+            needs_old_versions=True, organization=organization
+        )
+        version_store = VersionStore(database, retention=params.retention)
+    engine = TransactionEngine(
+        params, database, version_store=version_store, rng=random.Random(11)
+    )
+    kwargs = {}
+    if _builder_supports_incremental():
+        kwargs["incremental"] = incremental
+    builder = ProgramBuilder(
+        params,
+        database,
+        version_store=version_store,
+        requirements=requirements,
+        **kwargs,
+    )
+
+    gc.collect()
+    outcome = None
+    built = 0.0
+    for cycle in range(1, cycles + 1):
+        start = time.perf_counter()
+        builder.build(cycle, outcome)
+        built += time.perf_counter() - start
+        outcome = engine.run_cycle(cycle)
+    return {
+        "seconds": built,
+        "builds": float(cycles),
+        "builds_per_sec": cycles / built if built else 0.0,
+    }
+
+
+def bench_programs(repeats: int, cycles: int = 120) -> Dict[str, object]:
+    out: Dict[str, object] = {"cycles": cycles}
+    variants = [("flat", None), ("overflow", "overflow"), ("clustered", "clustered")]
+    for label, organization in variants:
+        best: Optional[Dict[str, float]] = None
+        for _ in range(max(1, repeats)):
+            sample = _programs_once(cycles, organization, incremental=True)
+            if best is None or sample["seconds"] < best["seconds"]:
+                best = sample
+        out[label] = best
+    if _builder_supports_incremental():
+        # The same build loop with the persistent index switched off: the
+        # copy-on-write win is measured against the full rebuild, on the
+        # same machine, in the same process.
+        for label, organization in variants[:2]:
+            best = None
+            for _ in range(max(1, repeats)):
+                sample = _programs_once(cycles, organization, incremental=False)
+                if best is None or sample["seconds"] < best["seconds"]:
+                    best = sample
+            out[f"{label}_full_rebuild"] = best
+    return out
+
+
+# -- clients: the end-to-end simulator -------------------------------------
+
+
+def _clients_params(num_clients: int, cycles: int) -> ModelParameters:
+    return DEFAULTS.with_sim(
+        num_cycles=cycles,
+        warmup_cycles=5,
+        num_clients=num_clients,
+        seed=11,
+    )
+
+
+def _clients_once(num_clients: int, cycles: int) -> Dict[str, float]:
+    from repro.experiments.schemes import scheme_factory
+    from repro.runtime import Simulation
+
+    sim = Simulation(
+        _clients_params(num_clients, cycles),
+        scheme_factory=scheme_factory("inval"),
+    )
+    gc.collect()
+    start = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "events": float(sim.env.events_processed),
+        "cycles": float(result.cycles_completed),
+        "events_per_sec": sim.env.events_processed / elapsed if elapsed else 0.0,
+        "cycles_per_sec": result.cycles_completed / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_clients(repeats: int, cycles: int = 60) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for count in CLIENT_COUNTS:
+        best: Optional[Dict[str, float]] = None
+        # The 100-client point is the slow one; one repeat is plenty there.
+        rounds = max(1, repeats if count < 100 else 1)
+        for _ in range(rounds):
+            sample = _clients_once(count, cycles)
+            if best is None or sample["seconds"] < best["seconds"]:
+                best = sample
+        out[str(count)] = best
+    return out
+
+
+# -- profile: where the time actually goes ---------------------------------
+
+
+def bench_profile(top: int = 15, cycles: int = 60) -> List[Dict[str, object]]:
+    from repro.experiments.schemes import scheme_factory
+    from repro.runtime import Simulation
+
+    sim = Simulation(
+        _clients_params(10, cycles), scheme_factory=scheme_factory("inval")
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    rows: List[Dict[str, object]] = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+    ):
+        filename, lineno, name = func
+        if "hotpath.py" in filename or filename.startswith("<"):
+            continue
+        rows.append(
+            {
+                "function": f"{os.path.basename(filename)}:{lineno}:{name}",
+                "ncalls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+        if len(rows) >= top:
+            break
+    return rows
+
+
+# -- assembly ---------------------------------------------------------------
+
+
+def run_suite(
+    repeats: int = 3,
+    quick: bool = False,
+    profile_top: int = 15,
+    progress: Optional[callable] = None,
+) -> Dict[str, object]:
+    """Run every micro-benchmark and assemble the JSON payload."""
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    hops = 400 if quick else 2000
+    cycles = 30 if quick else 120
+    client_cycles = 20 if quick else 60
+
+    say("dispatch: engine ping ...")
+    dispatch = bench_dispatch(repeats, hops=hops)
+    say(f"  {dispatch['events_per_sec']:,.0f} events/s")
+    say("programs: builder loop ...")
+    programs = bench_programs(repeats, cycles=cycles)
+    say("clients: end-to-end at 1/10/100 ...")
+    clients = bench_clients(repeats, cycles=client_cycles)
+    for count, sample in clients.items():
+        say(
+            f"  {count:>3} clients: {sample['cycles_per_sec']:,.1f} cycles/s  "
+            f"{sample['events_per_sec']:,.0f} events/s"
+        )
+    say("profile: cProfile top functions ...")
+    profile = bench_profile(top=profile_top, cycles=client_cycles)
+
+    return {
+        "bench": "repro.obs.hotpath",
+        "git_rev": git_revision(),
+        "packages": package_versions(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "quick": quick,
+        "suites": {
+            "dispatch": dispatch,
+            "programs": programs,
+            "clients": clients,
+            "profile": profile,
+        },
+    }
+
+
+def _rate(payload: Dict[str, object], *path: str) -> Optional[float]:
+    node: object = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def attach_before(payload: Dict[str, object], before: Dict[str, object]) -> None:
+    """Embed ``before`` and record after/before speedup ratios."""
+    payload["before"] = before
+    speedups: Dict[str, float] = {}
+    comparisons = [
+        ("dispatch_events_per_sec", ("suites", "dispatch", "events_per_sec")),
+        (
+            "programs_flat_builds_per_sec",
+            ("suites", "programs", "flat", "builds_per_sec"),
+        ),
+        (
+            "programs_overflow_builds_per_sec",
+            ("suites", "programs", "overflow", "builds_per_sec"),
+        ),
+    ] + [
+        (
+            f"clients_{count}_events_per_sec",
+            ("suites", "clients", str(count), "events_per_sec"),
+        )
+        for count in CLIENT_COUNTS
+    ]
+    for label, path in comparisons:
+        now, then = _rate(payload, *path), _rate(before, *path)
+        if now is not None and then:
+            speedups[label] = round(now / then, 4)
+    payload["speedup_vs_before"] = speedups
+
+
+def compare_against(
+    payload: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float,
+) -> List[str]:
+    """CI gate: the dispatch and end-to-end events/sec must not fall more
+    than ``max_regression`` below the committed baseline.  Returns the
+    list of violated checks (empty = pass)."""
+    failures: List[str] = []
+    for label, path in (
+        ("dispatch events/sec", ("suites", "dispatch", "events_per_sec")),
+        ("10-client events/sec", ("suites", "clients", "10", "events_per_sec")),
+    ):
+        now, then = _rate(payload, *path), _rate(baseline, *path)
+        if now is None or not then:
+            continue
+        floor = then * (1.0 - max_regression)
+        if now < floor:
+            failures.append(
+                f"{label} regressed: {now:,.0f} < {floor:,.0f} "
+                f"(baseline {then:,.0f}, allowed -{max_regression:.0%})"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.hotpath",
+        description="Micro-benchmark the simulator's per-event hot paths.",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="rounds per benchmark; best kept"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output JSON path (default: BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--before",
+        default=None,
+        metavar="FILE",
+        help="embed this earlier payload and record speedup ratios",
+    )
+    parser.add_argument(
+        "--against",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON to compare events/sec against (CI gate)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        metavar="FRACTION",
+        help="allowed events/sec drop vs --against (default: 0.2)",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=15, help="profile rows kept"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(
+        repeats=args.repeats,
+        quick=args.quick,
+        profile_top=args.profile_top,
+        progress=print,
+    )
+
+    if args.before:
+        with open(args.before, "r", encoding="utf-8") as handle:
+            attach_before(payload, json.load(handle))
+        for label, ratio in sorted(payload["speedup_vs_before"].items()):
+            print(f"  speedup {label}: {ratio:.2f}x")
+
+    out = args.out or "BENCH_hotpath.json"
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+    if args.against:
+        with open(args.against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = compare_against(payload, baseline, args.max_regression)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"within {args.max_regression:.0%} of baseline "
+            f"{args.against} ({baseline.get('git_rev', '?')})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

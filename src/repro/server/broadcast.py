@@ -42,7 +42,20 @@ def bucket_of_item(item: int, items_per_bucket: int) -> int:
 
 
 class ProgramBuilder:
-    """Builds one :class:`BroadcastProgram` per cycle."""
+    """Builds one :class:`BroadcastProgram` per cycle.
+
+    In the flat and overflow organizations every item keeps its position
+    inside the data segment from cycle to cycle, so the builder maintains
+    a *persistent* per-item slot index and copy-on-writes only the
+    buckets whose records actually changed that cycle -- the items the
+    commit outcome updated plus the items whose on-air old-version set
+    changed (supersedure or retention eviction, tracked by the
+    :class:`VersionStore`).  The clustered organization interleaves old
+    versions with the data, shifting positions whenever the retained set
+    changes, and keeps the full per-cycle rebuild.  ``incremental=False``
+    forces the full rebuild everywhere; the differential test suite and
+    the ``repro bench hotpath`` suite compare the two paths.
+    """
 
     def __init__(
         self,
@@ -53,6 +66,7 @@ class ProgramBuilder:
         requirements: Optional[BroadcastRequirements] = None,
         bits_per_unit: int = 32,
         tracer: Optional[Tracer] = None,
+        incremental: bool = True,
     ) -> None:
         self.params = params
         self.database = database
@@ -60,10 +74,21 @@ class ProgramBuilder:
         self.schedule = schedule or FlatSchedule(params.broadcast_size)
         self.requirements = requirements or BroadcastRequirements()
         self.size_model = SizeModel(params, bits_per_unit=bits_per_unit)
+        self.incremental = incremental
         self._trace_c = gate(tracer, "cycles")
         self._recent_reports: Deque[InvalidationReport] = deque(
             maxlen=max(1, self.requirements.report_window)
         )
+        # -- persistent cycle-build state (flat/overflow layouts only) ----
+        #: The item order the cached layout was computed for.
+        self._layout_order: Optional[List[int]] = None
+        #: item -> sorted tuple of data-bucket offsets (shared, read-only).
+        self._layout: Optional[Dict[int, Tuple[int, ...]]] = None
+        #: data-bucket offset -> the items riding in that bucket.
+        self._bucket_chunks: List[Tuple[int, ...]] = []
+        #: The previous cycle's data buckets and records (COW sources).
+        self._cached_buckets: List[Bucket] = []
+        self._cached_records: Dict[int, ItemRecord] = {}
 
         if self.requirements.needs_old_versions and self.version_store is None:
             raise ValueError(
@@ -187,6 +212,8 @@ class ProgramBuilder:
                 else MultiversionOrganization.OVERFLOW
             )
 
+        layout: Optional[Dict[int, Tuple[int, ...]]] = None
+        records: Optional[Dict[int, ItemRecord]] = None
         if organization is MultiversionOrganization.CLUSTERED:
             data_buckets = self._clustered_data_buckets(order, cycle)
             # Item positions shift, so a directory segment rides along.
@@ -196,7 +223,9 @@ class ProgramBuilder:
             ).index_units
             index_slots = max(1, math.ceil(index_units / p.bucket_size))
         else:
-            data_buckets = self._flat_data_buckets(order, cycle)
+            data_buckets, layout, records = self._cycle_data_buckets(
+                order, cycle, outcome
+            )
             if organization is MultiversionOrganization.OVERFLOW:
                 overflow_buckets = self._overflow_buckets()
 
@@ -210,6 +239,8 @@ class ProgramBuilder:
             control_slots=control_slots,
             index_slots=index_slots,
             organization=organization,
+            layout=layout,
+            records=records,
         )
         if self._trace_c is not None:
             self._trace_c.emit(
@@ -231,6 +262,76 @@ class ProgramBuilder:
             records = tuple(self._item_record(item, cycle) for item in chunk)
             buckets.append(Bucket(index=index, records=records))
         return buckets
+
+    def _cycle_data_buckets(
+        self, order: List[int], cycle: int, outcome: Optional[CycleOutcome]
+    ) -> Tuple[List[Bucket], Optional[Dict[int, Tuple[int, ...]]], Optional[Dict[int, ItemRecord]]]:
+        """The flat/overflow data segment, rebuilt copy-on-write.
+
+        Returns ``(buckets, layout, records)``; layout and records feed
+        the program's index directly so it never re-scans the buckets.
+        The first cycle (and any cycle whose schedule order changed, or a
+        builder with ``incremental=False``) pays the full O(DbSize) build;
+        afterwards only the buckets holding changed records are recreated.
+        """
+        # Items whose on-air old-version set changed since the last build:
+        # their records' has_old_versions pointer must be recomputed even
+        # when the value itself did not change (retention evictions).
+        dirty = (
+            self.version_store.consume_dirty()
+            if self.version_store is not None
+            else frozenset()
+        )
+        if not self.incremental:
+            return self._flat_data_buckets(order, cycle), None, None
+        if self._layout is None or order != self._layout_order:
+            buckets = self._flat_data_buckets(order, cycle)
+            self._prime_layout(order, buckets)
+            records = {
+                record.item: record
+                for bucket in buckets
+                for record in bucket.records
+            }
+        else:
+            changed = set(outcome.updated_items) if outcome is not None else set()
+            changed |= dirty
+            # Copy-on-write: the previous program keeps its own records
+            # dict and bucket list untouched (a desynced faulty client may
+            # still be reading the old cycle's view).
+            records = dict(self._cached_records)
+            buckets = self._cached_buckets
+            if changed:
+                buckets = list(buckets)
+                touched: set = set()
+                layout = self._layout
+                for item in changed:
+                    offsets = layout.get(item)
+                    if offsets is None:
+                        continue  # updated item is not on the air
+                    records[item] = self._item_record(item, cycle)
+                    touched.update(offsets)
+                for offset in touched:
+                    chunk = self._bucket_chunks[offset]
+                    buckets[offset] = Bucket(
+                        index=offset,
+                        records=tuple(records[item] for item in chunk),
+                    )
+        self._cached_buckets = buckets
+        self._cached_records = records
+        return buckets, self._layout, records
+
+    def _prime_layout(self, order: List[int], buckets: List[Bucket]) -> None:
+        """Build the persistent per-item slot index from a full layout."""
+        layout: Dict[int, List[int]] = {}
+        chunks: List[Tuple[int, ...]] = []
+        for offset, bucket in enumerate(buckets):
+            chunk = bucket.items
+            chunks.append(chunk)
+            for item in chunk:
+                layout.setdefault(item, []).append(offset)
+        self._layout = {item: tuple(offs) for item, offs in layout.items()}
+        self._bucket_chunks = chunks
+        self._layout_order = list(order)
 
     def _clustered_data_buckets(self, order: List[int], cycle: int) -> List[Bucket]:
         """Figure 2(a): each item immediately followed by its old versions.

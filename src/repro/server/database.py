@@ -14,10 +14,15 @@ consistency protocols ever compare; the sizing model accounts for the
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional
 
 from repro.graph.sgraph import TxnId
+
+#: Sort key for :meth:`Database.value_at`'s binary search.
+_version_cycle = attrgetter("cycle")
 
 
 @dataclass(frozen=True)
@@ -112,18 +117,16 @@ class Database:
         """The version of ``item`` in the state broadcast at ``cycle``.
 
         That is: the last version whose visibility stamp is ``<= cycle``.
+        Chains are in increasing cycle order, so a binary search finds it;
+        this is on the program builder's per-cycle hot path.
         """
-        best: Optional[Version] = None
-        for version in self._chain(item):
-            if version.cycle <= cycle:
-                best = version
-            else:
-                break
-        if best is None:
+        chain = self._chain(item)
+        index = bisect_right(chain, cycle, key=_version_cycle) - 1
+        if index < 0:
             raise ValueError(
                 f"Item {item} has no version visible at or before cycle {cycle}"
             )
-        return best
+        return chain[index]
 
     def snapshot(self, cycle: int) -> Dict[int, Version]:
         """The full consistent state ``DS^cycle`` (what cycle ``c`` airs)."""

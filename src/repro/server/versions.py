@@ -13,7 +13,7 @@ for ``retention`` further cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.server.database import Database, Version
 
@@ -64,6 +64,11 @@ class VersionStore:
         self.retention = retention
         #: item -> retained old versions, oldest first.
         self._retained: Dict[int, List[RetainedVersion]] = {}
+        #: Items whose on-air old-version set changed since the last
+        #: :meth:`consume_dirty` -- the incremental program builder needs
+        #: them because a retention *eviction* flips an item's
+        #: ``has_old_versions`` pointer without the item being updated.
+        self._dirty: Set[int] = set()
 
     def record_supersedure(self, old: Version, superseded_at: int) -> None:
         """Note that ``old`` stopped being current at ``superseded_at``.
@@ -75,6 +80,7 @@ class VersionStore:
             return
         bucket = self._retained.setdefault(old.item, [])
         bucket.append(RetainedVersion(version=old, superseded_at=superseded_at))
+        self._dirty.add(old.item)
 
     def evict_expired(self, current_cycle: int) -> int:
         """Drop versions whose on-air window has passed; returns count.
@@ -90,12 +96,25 @@ class VersionStore:
                 for rv in self._retained[item]
                 if current_cycle - rv.superseded_at < self.retention
             ]
-            evicted += len(self._retained[item]) - len(keep)
+            removed = len(self._retained[item]) - len(keep)
+            if removed:
+                self._dirty.add(item)
+            evicted += removed
             if keep:
                 self._retained[item] = keep
             else:
                 del self._retained[item]
         return evicted
+
+    def consume_dirty(self) -> Set[int]:
+        """Items whose on-air old versions changed since the last call.
+
+        Drained (swap-and-return) by the program builder once per cycle
+        build; a full rebuild drains it too so stale entries never pile
+        up across schedule changes.
+        """
+        dirty, self._dirty = self._dirty, set()
+        return dirty
 
     def on_air(self, item: int) -> List[RetainedVersion]:
         """Old versions of ``item`` currently broadcast (oldest first)."""

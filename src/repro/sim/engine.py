@@ -167,10 +167,11 @@ class Environment:
             else:
                 at = float(until)
                 if at <= self._now:
-                    raise ValueError(
-                        f"until ({at}) must be greater than the current time "
-                        f"({self._now})"
-                    )
+                    # The target time has already been reached: return at
+                    # once with the clock untouched (SimPy semantics).
+                    # Sweep drivers that compute `until` from accumulated
+                    # floats can legally land exactly on the current clock.
+                    return None
                 stop_event = Event(self)
                 stop_event._ok = True
                 stop_event._value = None
@@ -180,9 +181,31 @@ class Environment:
                 return stop_event.value if stop_event.ok else None
             stop_event.callbacks.append(StopSimulation.callback)
 
+        # Inlined dispatch loop (same semantics as `step`, which stays the
+        # single-step API): the heappop/callback cycle runs millions of
+        # times per simulation, so bound lookups are hoisted out of it.
+        queue = self._queue
+        pop = heapq.heappop
         try:
             while True:
-                self.step()
+                if not queue:
+                    raise EmptySchedule()
+                self._now, _, _, event = pop(queue)
+                self._steps += 1
+                if self._trace_hook is not None:
+                    self._trace_hook(self._now, event)
+
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:  # pragma: no cover - defensive
+                    continue
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) else RuntimeError(
+                        str(exc)
+                    )
         except StopSimulation as exc:
             return exc.args[0] if exc.args else None
         except EmptySchedule:

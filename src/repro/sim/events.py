@@ -66,7 +66,15 @@ class Event:
     :meth:`succeed` or with an exception via :meth:`fail`.  Once the
     environment pops the event off its queue, the event's callbacks run and
     the event is *processed*.
+
+    Events are the simulator's unit of allocation churn -- every timeout,
+    wakeup and process step creates one -- so the whole hierarchy uses
+    ``__slots__``.  Subclasses outside this module that need ad-hoc
+    attributes (e.g. the resource request events) simply omit their own
+    ``__slots__`` and get a ``__dict__`` back.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -160,15 +168,24 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts dominate event allocation (every wait in the client model is
+    one), so the constructor writes each slot exactly once instead of
+    going through :meth:`Event.__init__` and re-assigning.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"Negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
         self._delay = delay
         self._ok = True
         self._value = value
+        self._defused = False
         env.schedule(self, priority=EventPriority.NORMAL, delay=delay)
 
     @property
@@ -183,11 +200,14 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a process at creation time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Any") -> None:
-        super().__init__(env)
+        self.env = env
         self.callbacks = [process._resume]
         self._ok = True
         self._value = None
+        self._defused = False
         env.schedule(self, priority=EventPriority.URGENT)
 
 
@@ -198,6 +218,8 @@ class ConditionValue:
     original event order (useful when results of an ``AllOf`` need to be
     consumed positionally).
     """
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: List[Event] = []
@@ -243,6 +265,8 @@ class Condition(Event):
     number already processed; :meth:`all_events` and :meth:`any_event` are
     the two standard predicates.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -304,12 +328,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition satisfied when *all* of the given events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition satisfied when *any* of the given events has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_event, events)

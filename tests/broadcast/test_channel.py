@@ -232,3 +232,129 @@ class TestCycleStarted:
         run_server(env, channel, [make_program(1)])
         env.run()
         assert order == ["listener", "waiter"]
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_is_idempotent(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+
+        class Listener:
+            def on_cycle_start(self, program):
+                pass
+
+        listener = Listener()
+        channel.subscribe(listener)
+        channel.unsubscribe(listener)
+        # A disconnect storm may race a client-initiated detach: the
+        # second detach must be a no-op, not a ValueError.
+        channel.unsubscribe(listener)
+        channel.unsubscribe(object())  # never subscribed at all
+
+    def test_unsubscribe_detaches_interim_handler(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        seen = []
+
+        class Listener:
+            def on_cycle_start(self, program):
+                pass
+
+            def on_interim_report(self, report):
+                seen.append(report)
+
+        listener = Listener()
+        channel.subscribe(listener)
+        channel.publish_interim_report("r1")
+        channel.unsubscribe(listener)
+        channel.unsubscribe(listener)
+        channel.publish_interim_report("r2")
+        assert seen == ["r1"]
+
+
+class TestDeliveryInstant:
+    """The delivery instant is inclusive: a process resuming exactly at
+    ``delivery_time(slot)`` still hears the bucket.  The earlier strict
+    comparison silently cost such a process a full extra cycle."""
+
+    def test_await_item_at_exact_delivery_instant(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        run_server(env, channel, [make_program(1), make_program(2)])
+        results = []
+
+        def client(env):
+            yield env.timeout(2.5)  # exactly item 3's delivery instant
+            record, cycle = yield from channel.await_item(3)
+            results.append((record.value, cycle, env.now))
+
+        env.process(client(env))
+        env.run()
+        # Heard in cycle 1 at the instant itself -- not cycle 2 at 5.5.
+        assert results == [(30, 1, 2.5)]
+
+    def test_await_old_version_at_exact_overflow_instant(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        old = OldVersionRecord(item=1, value=9, version=0, valid_to=1)
+        program = make_program(2, versions={1: (10, 2)}, overflow=[old])
+        run_server(env, channel, [program])
+        results = []
+
+        def client(env):
+            yield env.timeout(3.5)  # exactly the overflow bucket's instant
+            record, found, valid_to = yield from channel.await_old_version(1, 1)
+            results.append((record.value, found, valid_to, env.now))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(9, True, 1, 3.5)]
+
+
+class TestCrossCycleOldVersionRetry:
+    """A qualifying current value that already flew by forces a retry at
+    the next cycle -- where it may have moved to the overflow area (read
+    it there) or aged off the air entirely (abort)."""
+
+    def test_missed_current_found_in_next_cycle_overflow(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        old = OldVersionRecord(item=1, value=10, version=1, valid_to=1)
+        programs = [
+            make_program(1, versions={1: (10, 1)}),
+            make_program(2, versions={1: (11, 2)}, overflow=[old]),
+        ]
+        run_server(env, channel, programs)
+        results = []
+
+        def client(env):
+            # Item 1's only copy flies at 1.5; tune in just after.
+            yield env.timeout(2.0)
+            record, found, valid_to = yield from channel.await_old_version(1, 1)
+            results.append((record.value, record.version, found, valid_to, env.now))
+
+        env.process(client(env))
+        env.run()
+        # Cycle 2 starts at t=3; its overflow bucket is slot 3 -> t=6.5.
+        assert results == [(10, 1, True, 1, 6.5)]
+
+    def test_missed_current_aged_off_aborts_next_cycle(self):
+        env = Environment()
+        channel = BroadcastChannel(env)
+        programs = [
+            make_program(1, versions={1: (10, 1)}),
+            # Overwritten with no old version retained: gone from the air.
+            make_program(2, versions={1: (11, 2)}),
+        ]
+        run_server(env, channel, programs)
+        results = []
+
+        def client(env):
+            yield env.timeout(2.0)
+            record, found, valid_to = yield from channel.await_old_version(1, 1)
+            results.append((record, found, valid_to, env.now))
+
+        env.process(client(env))
+        env.run()
+        # The abort is detected at the cycle-2 boundary (t=3).
+        assert results == [(None, False, None, 3.0)]

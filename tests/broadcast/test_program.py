@@ -82,7 +82,12 @@ class TestNextSlot:
         program = make_program()
         # Item 1 delivered at slot-relative 1.5; asking just before gets it.
         assert program.next_slot_of(1, after=1.4) == 1
-        assert program.next_slot_of(1, after=1.5) is None
+        # The delivery instant itself is inclusive: a process waking at
+        # exactly 1.5 (timeout landing on the boundary) still hears the
+        # bucket.  The old strict `>` silently cost it a full cycle.
+        assert program.next_slot_of(1, after=1.5) == 1
+        # Just past the instant, the copy is gone.
+        assert program.next_slot_of(1, after=1.5 + 1e-9) is None
 
     def test_flown_by_returns_none(self):
         program = make_program()

@@ -230,3 +230,145 @@ def test_old_versions_requested_without_store_rejected():
             db,
             requirements=BroadcastRequirements(needs_old_versions=True),
         )
+
+
+def fingerprint(program):
+    """Everything a client can observe about a program's physical layout."""
+    return (
+        program.cycle,
+        program.control_slots,
+        program.index_slots,
+        program.total_slots,
+        tuple(
+            (b.index, b.records, b.old_records) for b in program.data_buckets
+        ),
+        tuple(
+            (b.index, b.records, b.old_records) for b in program.overflow_buckets
+        ),
+    )
+
+
+def build_run(incremental, requirements=None, cycles=12, retention=2, seed=7):
+    """One deterministic world, returning every cycle's program."""
+    params = ServerParameters(
+        broadcast_size=50,
+        update_range=30,
+        offset=0,
+        updates_per_cycle=10,
+        transactions_per_cycle=5,
+        items_per_bucket=5,
+    )
+    db = Database(params.broadcast_size)
+    requirements = requirements or BroadcastRequirements()
+    store = None
+    if requirements.needs_old_versions or requirements.needs_versions_on_items:
+        store = VersionStore(db, retention=retention)
+    engine = TransactionEngine(
+        params, db, version_store=store, rng=random.Random(seed)
+    )
+    builder = ProgramBuilder(
+        params,
+        db,
+        version_store=store,
+        requirements=requirements,
+        incremental=incremental,
+    )
+    programs = []
+    outcome = None
+    for cycle in range(1, cycles + 1):
+        programs.append(builder.build(cycle, outcome))
+        outcome = engine.run_cycle(cycle)
+    return programs
+
+
+class TestIncrementalBuild:
+    """The copy-on-write cycle build must be observationally identical to
+    the full per-cycle rebuild -- same buckets, same records, same index
+    answers -- across organizations, including runs long enough for
+    retention evictions to flip ``has_old_versions`` pointers."""
+
+    @pytest.mark.parametrize(
+        "requirements",
+        [
+            BroadcastRequirements(),
+            BroadcastRequirements(needs_sgt=True),
+            BroadcastRequirements(needs_old_versions=True, organization="overflow"),
+        ],
+        ids=["plain", "sgt", "overflow"],
+    )
+    def test_matches_full_rebuild_every_cycle(self, requirements):
+        fast = build_run(True, requirements)
+        slow = build_run(False, requirements)
+        for f, s in zip(fast, slow):
+            assert fingerprint(f) == fingerprint(s)
+
+    def test_index_answers_match_full_rebuild(self):
+        reqs = BroadcastRequirements(needs_old_versions=True, organization="overflow")
+        fast = build_run(True, reqs)
+        slow = build_run(False, reqs)
+        for f, s in zip(fast, slow):
+            for item in range(1, 51):
+                assert f.record_of(item) == s.record_of(item)
+                assert f.slots_of(item) == s.slots_of(item)
+                assert f.page_of(item) == s.page_of(item)
+                for after in (0.0, 3.5, 7.5, 100.0):
+                    assert f.next_slot_of(item, after) == s.next_slot_of(
+                        item, after
+                    )
+                assert f.old_versions_of(item) == s.old_versions_of(item)
+
+    def test_previous_program_is_never_mutated(self):
+        """Copy-on-write contract: a desynchronized faulty client may keep
+        reading last cycle's program while this cycle's is being built."""
+        params = ServerParameters(
+            broadcast_size=50,
+            update_range=30,
+            offset=0,
+            updates_per_cycle=10,
+            transactions_per_cycle=5,
+            items_per_bucket=5,
+        )
+        db = Database(params.broadcast_size)
+        engine = TransactionEngine(params, db, rng=random.Random(3))
+        builder = ProgramBuilder(params, db, incremental=True)
+        previous = builder.build(1, None)
+        frozen = fingerprint(previous)
+        outcome = engine.run_cycle(1)
+        current = builder.build(2, outcome)
+        assert fingerprint(previous) == frozen
+        # And the new program did pick up the updates.
+        for item in outcome.updated_items:
+            assert current.record_of(item).version == 2
+            assert previous.record_of(item).version == 0
+
+    def test_schedule_order_change_forces_reprime(self):
+        class MutableSchedule:
+            def __init__(self, size):
+                self.order = list(range(1, size + 1))
+
+            def item_order(self):
+                return list(self.order)
+
+        params = ServerParameters(
+            broadcast_size=20,
+            update_range=10,
+            updates_per_cycle=2,
+            items_per_bucket=5,
+        )
+        db = Database(params.broadcast_size)
+        schedule = MutableSchedule(params.broadcast_size)
+        builder = ProgramBuilder(params, db, schedule=schedule, incremental=True)
+        first = builder.build(1, None)
+        assert first.slots_of(1) == [1]  # first data slot after control
+        schedule.order.reverse()
+        second = builder.build(2, None)
+        # Item 20 now leads the broadcast; the persistent index followed.
+        assert second.slots_of(20) == [1]
+        assert second.slots_of(1) == [1 + len(second.data_buckets) - 1]
+
+    def test_incremental_is_the_default(self):
+        params = ServerParameters(
+            broadcast_size=10, update_range=10, updates_per_cycle=2
+        )
+        builder = ProgramBuilder(params, Database(10))
+        assert builder.incremental

@@ -115,3 +115,44 @@ def test_total_retained_counts_everything(db):
             db.write(item, visible_cycle=k, writer=TxnId(k - 1, item))
             store.record_supersedure(old, superseded_at=k)
     assert store.total_retained == 4
+
+
+class TestDirtyTracking:
+    """The incremental program builder's change feed: an item is dirty
+    whenever its on-air old-version set changed -- supersedure adds a
+    version, retention eviction drops one.  Evictions are the subtle
+    half: they flip ``has_old_versions`` without the item appearing in
+    any cycle outcome, so the builder cannot infer them from updates."""
+
+    def test_supersedure_marks_item_dirty(self, db):
+        store = make_store(db)
+        old = db.current(1)
+        db.write(1, visible_cycle=2, writer=TxnId(1, 0))
+        store.record_supersedure(old, superseded_at=2)
+        assert store.consume_dirty() == {1}
+
+    def test_eviction_marks_item_dirty(self, db):
+        store = make_store(db, retention=2)
+        old = db.current(3)
+        db.write(3, visible_cycle=2, writer=TxnId(1, 0))
+        store.record_supersedure(old, superseded_at=2)
+        store.consume_dirty()  # drain the supersedure
+        assert store.evict_expired(3) == 0
+        assert store.consume_dirty() == set()
+        assert store.evict_expired(4) == 1
+        assert store.consume_dirty() == {3}
+
+    def test_consume_drains(self, db):
+        store = make_store(db)
+        old = db.current(2)
+        db.write(2, visible_cycle=2, writer=TxnId(1, 0))
+        store.record_supersedure(old, superseded_at=2)
+        assert store.consume_dirty() == {2}
+        assert store.consume_dirty() == set()
+
+    def test_zero_retention_never_dirty(self, db):
+        store = make_store(db, retention=0)
+        old = db.current(1)
+        db.write(1, visible_cycle=2, writer=TxnId(1, 0))
+        store.record_supersedure(old, superseded_at=2)
+        assert store.consume_dirty() == set()

@@ -57,12 +57,18 @@ def test_run_until_boundary_excludes_events_at_stop_time():
     assert log == [1.0, 2.0]
 
 
-def test_run_until_past_time_rejected():
+def test_run_until_past_or_present_time_returns_immediately():
     env = Environment()
     env.process(iter_one(env))
     env.run()
-    with pytest.raises(ValueError):
-        env.run(until=0.5)
+    # SimPy semantics: `until` at or before the current clock returns at
+    # once instead of raising -- sweep drivers computing `until` from
+    # accumulated floats can legally land exactly on the current time.
+    before = env.events_processed
+    assert env.run(until=0.5) is None
+    assert env.run(until=env.now) is None
+    assert env.now == 1.0
+    assert env.events_processed == before
 
 
 def iter_one(env):

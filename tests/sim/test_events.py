@@ -211,3 +211,42 @@ def test_condition_over_already_processed_events():
     env.process(proc(env))
     env.run()
     assert seen == [(["a", "b"], 4.0)]
+
+
+class TestSlotsContract:
+    """The event hierarchy is the simulator's allocation hot spot: the
+    kernel classes must stay ``__dict__``-free, while subclasses that
+    declare ad-hoc attributes (the resource events) still get one."""
+
+    def test_kernel_events_have_no_dict(self):
+        def empty(env):
+            yield env.timeout(0)
+
+        env = Environment()
+        process = env.process(empty(env))
+        for obj in (
+            env.event(),
+            env.timeout(1),
+            env.all_of([]),
+            env.any_of([]),
+        ):
+            assert not hasattr(obj, "__dict__"), type(obj).__name__
+        assert not hasattr(process, "__dict__")
+
+    def test_timeout_still_fully_initialized(self):
+        env = Environment()
+        timeout = env.timeout(2.5, value="v")
+        assert timeout.delay == 2.5
+        assert timeout.triggered
+        assert not timeout.processed
+        env.run()
+        assert timeout.value == "v"
+
+    def test_resource_events_keep_ad_hoc_attributes(self):
+        from repro.sim.resources import Resource
+
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        request.marker = "ok"  # subclasses without __slots__ keep a dict
+        assert request.marker == "ok"
