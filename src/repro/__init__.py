@@ -21,7 +21,9 @@ Quickstart::
 from repro.config import (
     ClientParameters,
     DEFAULTS,
+    FaultParameters,
     ModelParameters,
+    ResilienceParameters,
     ServerParameters,
     SimulationParameters,
 )
@@ -33,7 +35,9 @@ __version__ = "1.0.0"
 __all__ = [
     "ClientParameters",
     "DEFAULTS",
+    "FaultParameters",
     "ModelParameters",
+    "ResilienceParameters",
     "ServerParameters",
     "Simulation",
     "SimulationParameters",

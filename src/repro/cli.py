@@ -38,8 +38,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.config import ModelParameters
+from repro.config import RETRY_POLICIES, ModelParameters
 from repro.core.control import ReportSchedule
+from repro.faults.presets import get_preset, preset_names
 from repro.experiments.render import render_table
 from repro.experiments.schemes import SCHEME_FACTORIES, scheme_factory
 from repro.obs.analyze import TraceAnalyzer
@@ -135,6 +136,96 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fault RNG seed (default: derived from --seed)",
+    )
+    fault.add_argument(
+        "--preset",
+        default=None,
+        metavar="NAME",
+        help=(
+            "named fault scenario; replaces the individual fault knobs "
+            f"(known: {', '.join(preset_names())})"
+        ),
+    )
+    fault.add_argument(
+        "--severity",
+        type=float,
+        default=1.0,
+        help="scale the preset's probabilities (default: 1.0)",
+    )
+    res = run.add_argument_group(
+        "resilience", "client recovery and retry (see repro.resilience)"
+    )
+    res.add_argument(
+        "--retry-policy",
+        default="immediate",
+        choices=sorted(RETRY_POLICIES),
+        help="retry scheduling between attempts (default: immediate)",
+    )
+    res.add_argument(
+        "--backoff-base", type=int, default=1, help="first backoff delay (cycles)"
+    )
+    res.add_argument(
+        "--backoff-cap", type=int, default=8, help="max backoff delay (cycles)"
+    )
+    res.add_argument(
+        "--backoff-jitter",
+        type=float,
+        default=0.0,
+        help="jitter fraction added to each delay (seeded)",
+    )
+    res.add_argument(
+        "--deadline",
+        type=int,
+        default=0,
+        help="abandon a query after this many cycles (0 = never)",
+    )
+    res.add_argument(
+        "--watchdog",
+        type=int,
+        default=0,
+        help="escalate after N consecutive aborted attempts (0 = off)",
+    )
+    res.add_argument(
+        "--checkpoint",
+        type=int,
+        default=0,
+        help="checkpoint client state every N heard cycles (0 = off)",
+    )
+    res.add_argument(
+        "--catchup-window",
+        type=int,
+        default=8,
+        help="max outage length for incremental catch-up resync",
+    )
+    res.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="per-cycle client crash probability",
+    )
+    res.add_argument(
+        "--crash-length",
+        type=float,
+        default=2.0,
+        help="mean crash outage length in cycles",
+    )
+    res.add_argument(
+        "--degrade-after",
+        type=int,
+        default=0,
+        help="step the degradation ladder down after N faulty cycles (0 = off)",
+    )
+    res.add_argument(
+        "--recover-after",
+        type=int,
+        default=3,
+        help="step the ladder back up after N clean cycles",
+    )
+    res.add_argument(
+        "--resilience-seed",
+        type=int,
+        default=None,
+        help="resilience RNG seed (default: derived from --seed)",
     )
     run.add_argument(
         "--verify",
@@ -254,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cell progress and speedup lines on stderr",
     )
     experiments.add_argument(
+        "--preset",
+        default=None,
+        metavar="NAME",
+        help="named fault scenario for the faults experiment",
+    )
+    experiments.add_argument(
         "--check",
         action="store_true",
         help="run the parallel-vs-serial determinism oracle instead",
@@ -276,7 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _params_from(args: argparse.Namespace) -> ModelParameters:
-    return (
+    params = (
         ModelParameters()
         .with_server(
             broadcast_size=args.broadcast_size,
@@ -297,16 +394,33 @@ def _params_from(args: argparse.Namespace) -> ModelParameters:
             num_clients=args.clients,
             seed=args.seed,
         )
-        .with_faults(
-            slot_loss=args.slot_loss,
-            burst_rate=args.burst_loss,
-            burst_length=args.burst_length,
-            control_loss=args.control_loss,
-            truncation=args.truncation,
-            report_delay=args.report_delay,
-            storm_rate=args.storm_rate,
-            seed=args.fault_seed,
+        .with_resilience(
+            retry_policy=args.retry_policy,
+            backoff_base=args.backoff_base,
+            backoff_cap=args.backoff_cap,
+            backoff_jitter=args.backoff_jitter,
+            deadline_cycles=args.deadline,
+            watchdog_attempts=args.watchdog,
+            checkpoint_interval=args.checkpoint,
+            catchup_window=args.catchup_window,
+            crash_rate=args.crash_rate,
+            crash_length=args.crash_length,
+            degrade_after=args.degrade_after,
+            recover_after=args.recover_after,
+            seed=args.resilience_seed,
         )
+    )
+    if args.preset is not None:
+        return get_preset(args.preset).apply(params, args.severity)
+    return params.with_faults(
+        slot_loss=args.slot_loss,
+        burst_rate=args.burst_loss,
+        burst_length=args.burst_length,
+        control_loss=args.control_loss,
+        truncation=args.truncation,
+        report_delay=args.report_delay,
+        storm_rate=args.storm_rate,
+        seed=args.fault_seed,
     )
 
 
@@ -365,6 +479,17 @@ def _command_run(args: argparse.Namespace) -> int:
     if params.faults.active:
         for name, value in sorted(result.metrics.fault_summary().items()):
             rows.append([name, str(value)])
+    if params.resilience.active:
+        from repro.stats import names as metric_names
+
+        for name in metric_names.RESILIENCE_COUNTERS:
+            counter = result.metrics.get_counter(name)
+            rows.append([name, str(counter.value if counter else 0)])
+        ttr = result.metrics.get_sampler(metric_names.TIME_TO_RECOVER_CYCLES)
+        if ttr is not None and ttr.count:
+            rows.append(
+                [metric_names.TIME_TO_RECOVER_CYCLES, f"{ttr.mean:.1f} mean"]
+            )
     print(render_table(["measure", "value"], rows, title="simulation result"))
 
     if args.verify:
@@ -481,6 +606,8 @@ def _command_experiments(args: argparse.Namespace) -> int:
         argv += ["--cache", args.cache]
     if args.progress:
         argv.append("--progress")
+    if args.preset:
+        argv += ["--preset", args.preset]
     return experiments_main(argv)
 
 

@@ -21,7 +21,7 @@ the information the correctness proofs of Theorems 4 and 5 quantify over.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.broadcast.program import BroadcastProgram, ItemRecord
@@ -57,6 +57,11 @@ class CacheEntry:
         return self.valid_to is None
 
 
+def replace_entry(entry: CacheEntry) -> CacheEntry:
+    """An independent copy of one entry (checkpoints must not alias)."""
+    return replace(entry)
+
+
 @dataclass
 class _PendingRefresh:
     """An autoprefetch in flight: the new value and when it lands."""
@@ -88,6 +93,11 @@ class ClientCache:
             )
         self.capacity = capacity
         self.old_capacity = old_capacity
+        #: Degradation controls (repro.resilience): with autoprefetch off
+        #: the report still invalidates entries but no refresh is armed;
+        #: bypassed, every lookup misses and every insert is dropped.
+        self.autoprefetch_enabled = True
+        self.bypass = False
         #: Current values, LRU order (least recent first).
         self._current: "OrderedDict[int, CacheEntry]" = OrderedDict()
         #: Old versions, LRU order, keyed by (item, version).
@@ -117,7 +127,15 @@ class ClientCache:
         Must be called at the cycle-start instant, before any reads of the
         new cycle.  Matured autoprefetches from the previous cycle are
         materialized first.
+
+        With autoprefetch disabled (degradation ladder), the report still
+        invalidates entries -- exactly like a w-window catch-up report --
+        but nothing is armed: the next demand read refreshes off the air.
         """
+        if not self.autoprefetch_enabled:
+            self._pending.clear()
+            self.apply_missed_report(program.control.invalidation)
+            return
         self._materialize(channel.env.now)
         report = program.control.invalidation
         for item in report.updated_items:
@@ -215,6 +233,9 @@ class ClientCache:
 
     def get_current(self, item: int, now: float) -> Optional[CacheEntry]:
         """The current value of ``item`` if cached and usable at ``now``."""
+        if self.bypass:
+            self.misses += 1
+            return None
         self._materialize(now)
         entry = self._current.get(item)
         if entry is None or not entry.is_current or entry.available_at > now:
@@ -231,6 +252,9 @@ class ClientCache:
         autoprefetch has not landed yet -- the paper's "marked for
         autoprefetching" state) and the old-version partition.
         """
+        if self.bypass:
+            self.misses += 1
+            return None
         self._materialize(now)
         entry = self._current.get(item)
         if entry is not None and entry.available_at <= now and entry.covers(cycle):
@@ -250,12 +274,14 @@ class ClientCache:
 
     def insert_current(self, record: ItemRecord, now: float) -> None:
         """Cache a current value just read off the air."""
+        if self.bypass:
+            return
         self._pending.pop(record.item, None)
         self._install_current(record, available_at=now)
 
     def insert_old(self, record: ItemRecord, valid_to: int, now: float) -> None:
         """Cache an old version (multiversion partition only)."""
-        if not self.multiversion:
+        if not self.multiversion or self.bypass:
             return
         entry = CacheEntry(
             item=record.item,
@@ -266,6 +292,40 @@ class ClientCache:
             available_at=now,
         )
         self._demote(entry)
+
+    # -- checkpointing (see repro.resilience) ---------------------------------
+
+    def export_entries(self) -> Tuple[List[CacheEntry], List[CacheEntry]]:
+        """Copies of the (current, old) partitions, LRU order preserved.
+
+        In-flight autoprefetches are deliberately excluded: their records
+        only become safe once their bucket has flown by, and a restart
+        happens cycles later when that broadcast is long gone.
+        """
+        current = [replace_entry(e) for e in self._current.values()]
+        old = [replace_entry(e) for e in self._old.values()]
+        return current, old
+
+    def restore_entries(
+        self, current: List[CacheEntry], old: List[CacheEntry]
+    ) -> None:
+        """Reload checkpointed entries (crash-restart recovery).
+
+        Replaces the whole contents; the caller then replays the missed
+        invalidation reports (:meth:`apply_missed_report`) to close the
+        validity of anything updated during the outage -- the same
+        safety argument as the live resynchronization path.
+        """
+        self.clear()
+        for entry in old:
+            copied = replace_entry(entry)
+            self._old[(copied.item, copied.version)] = copied
+        while len(self._old) > self.old_capacity:
+            self._old.popitem(last=False)
+        for entry in current:
+            copied = replace_entry(entry)
+            self._current[copied.item] = copied
+        self._evict_current()
 
     # -- introspection -----------------------------------------------------------
 

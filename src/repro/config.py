@@ -211,6 +211,104 @@ class FaultParameters:
             raise ValueError(f"storm_length must be >= 1, got {self.storm_length}")
 
 
+#: Retry policy names accepted by :class:`ResilienceParameters`; the
+#: registry lives in :mod:`repro.resilience.policy` (kept in sync there).
+RETRY_POLICIES = ("immediate", "backoff", "cause-aware")
+
+
+@dataclass(frozen=True)
+class ResilienceParameters:
+    """Client-side recovery policy knobs (see :mod:`repro.resilience`).
+
+    All defaults reproduce the seed behaviour exactly: immediate retries
+    up to ``max_attempts``, no deadlines, no watchdog, no checkpointing,
+    no crashes, no degradation ladder.  Any non-default knob activates
+    the resilience layer, which wires a per-client policy bundle into the
+    :class:`~repro.client.machine.BroadcastClient`.
+    """
+
+    #: How aborted attempts are retried: ``immediate`` (the seed
+    #: behaviour), ``backoff`` (capped exponential backoff in broadcast
+    #: cycles), or ``cause-aware`` (reacts per ``AbortReason``).
+    retry_policy: str = "immediate"
+    #: First backoff delay, in broadcast cycles.
+    backoff_base: int = 1
+    #: Upper bound on any single backoff delay, in cycles.
+    backoff_cap: int = 8
+    #: Jitter fraction in [0, 1]: up to ``jitter * delay`` extra cycles,
+    #: drawn from the seeded resilience RNG (deterministic per seed).
+    backoff_jitter: float = 0.0
+    #: Abandon a query once this many cycles passed since it started
+    #: (0 disables deadlines).
+    deadline_cycles: int = 0
+    #: Escalate (flush the cache, step the degradation ladder down) after
+    #: this many consecutive aborted attempts (0 disables the watchdog).
+    watchdog_attempts: int = 0
+    #: Checkpoint the client state (cache + scheme control state) every
+    #: this many heard cycles (0 disables checkpointing).
+    checkpoint_interval: int = 0
+    #: Restarting after an outage of at most this many cycles uses the
+    #: incremental catch-up resync when the control window covers the gap;
+    #: longer outages always flush-and-rejoin.
+    catchup_window: int = 8
+    #: Per-cycle probability that this client crashes (loses all
+    #: in-memory state) for a multi-cycle outage.
+    crash_rate: float = 0.0
+    #: Mean crash outage length, in cycles.
+    crash_length: float = 2.0
+    #: Step the degradation ladder down after this many consecutive
+    #: fault-degraded cycles (0 disables the ladder).
+    degrade_after: int = 0
+    #: Step the ladder back up after this many consecutive clean cycles.
+    recover_after: int = 3
+    #: Resilience RNG seed (jitter + crash schedules); ``None`` derives
+    #: one from the simulation seed without touching the workload stream.
+    seed: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        """Does any knob depart from the seed behaviour?"""
+        return (
+            self.retry_policy != "immediate"
+            or self.deadline_cycles > 0
+            or self.watchdog_attempts > 0
+            or self.checkpoint_interval > 0
+            or self.crash_rate > 0
+            or self.degrade_after > 0
+        )
+
+    def validate(self) -> None:
+        if self.retry_policy not in RETRY_POLICIES:
+            known = ", ".join(RETRY_POLICIES)
+            raise ValueError(
+                f"Unknown retry policy {self.retry_policy!r}; known: {known}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < max(1, self.backoff_base):
+            raise ValueError(
+                "backoff_cap must be >= max(1, backoff_base), got "
+                f"{self.backoff_cap}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        for name in ("deadline_cycles", "watchdog_attempts", "checkpoint_interval"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.catchup_window < 0:
+            raise ValueError("catchup_window must be non-negative")
+        if not 0.0 <= self.crash_rate <= 1.0:
+            raise ValueError(f"crash_rate must be in [0, 1], got {self.crash_rate}")
+        if self.crash_length < 1.0:
+            raise ValueError(f"crash_length must be >= 1, got {self.crash_length}")
+        if self.degrade_after < 0:
+            raise ValueError("degrade_after must be non-negative")
+        if self.recover_after < 1:
+            raise ValueError("recover_after must be at least 1")
+
+
 @dataclass(frozen=True)
 class SimulationParameters:
     """Run-control knobs (not part of the paper's model)."""
@@ -240,12 +338,14 @@ class ModelParameters:
     client: ClientParameters = field(default_factory=ClientParameters)
     sim: SimulationParameters = field(default_factory=SimulationParameters)
     faults: FaultParameters = field(default_factory=FaultParameters)
+    resilience: ResilienceParameters = field(default_factory=ResilienceParameters)
 
     def validate(self) -> None:
         self.server.validate()
         self.client.validate()
         self.sim.validate()
         self.faults.validate()
+        self.resilience.validate()
         if self.client.read_range > self.server.broadcast_size:
             raise ValueError(
                 "client read_range cannot exceed broadcast_size "
@@ -265,6 +365,9 @@ class ModelParameters:
 
     def with_faults(self, **kwargs) -> "ModelParameters":
         return replace(self, faults=replace(self.faults, **kwargs))
+
+    def with_resilience(self, **kwargs) -> "ModelParameters":
+        return replace(self, resilience=replace(self.resilience, **kwargs))
 
 
 DEFAULTS = ModelParameters()

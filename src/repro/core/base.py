@@ -150,6 +150,36 @@ class Scheme:
         """Called after the attempt terminated (committed or aborted), for
         schemes holding per-transaction state (SGT node cleanup)."""
 
+    # -- checkpoint / recovery hooks (see repro.resilience) -------------------
+
+    def export_state(self) -> Optional[Mapping[str, Any]]:
+        """Checkpointable cross-cycle control state, or ``None``.
+
+        Called at checkpoint instants (cycle starts, after the scheme
+        processed the control segment).  The returned mapping must be
+        self-contained: live structures are copied, never aliased.
+        Default: the scheme holds nothing worth checkpointing.
+        """
+        return None
+
+    def restore_state(
+        self, state: Mapping[str, Any], cycles_missed: int
+    ) -> None:
+        """Restore exported state after a crash-restart.
+
+        ``cycles_missed`` is the number of broadcast cycles between the
+        checkpoint and the restart that the client never heard.  Schemes
+        whose state cannot survive a gap (SGT: missed graph diffs mean
+        missing edges, which could wrongly *accept* reads) must discard
+        the stale part rather than trust it.  Default: nothing to do.
+        """
+
+    def reset_state(self) -> None:
+        """A crash wiped the client's memory: drop all cross-cycle
+        control state, as if freshly constructed.  Per-transaction state
+        drains through :meth:`end` when the machine aborts the active
+        attempt.  Default: nothing held."""
+
     def state_cycle(self, txn: ReadOnlyTransaction) -> Optional[int]:
         """The broadcast cycle whose database state a *committed* ``txn``'s
         readset corresponds to -- the currency measure of Table 1.

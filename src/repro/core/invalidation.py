@@ -149,6 +149,22 @@ class InvalidationOnly(Scheme):
                     cause={"event": "missed_cycle", "missed_cycle": cycle},
                 )
 
+    # -- checkpoint / recovery (see repro.resilience) -------------------------
+
+    def export_state(self):
+        """The learned item->page layout (bucket granularity only)."""
+        if not self._page_of:
+            return None
+        return {"page_of": dict(self._page_of)}
+
+    def restore_state(self, state, cycles_missed: int) -> None:
+        # Safe across any gap: the layout is re-learned from the program
+        # at every heard cycle start, before any query consults it.
+        self._page_of.update(state["page_of"])
+
+    def reset_state(self) -> None:
+        self._page_of.clear()
+
     def begin(self, txn: ReadOnlyTransaction) -> None:
         self._active[txn.txn_id] = txn
 

@@ -143,6 +143,31 @@ class SerializationGraphTesting(Scheme):
                     bound = self._version_bound.get(txn.txn_id, self._last_heard)
                     self._version_bound[txn.txn_id] = min(bound, self._last_heard)
 
+    # -- checkpoint / recovery (see repro.resilience) ----------------------------
+
+    def export_state(self):
+        """Snapshot the serialization graph and its anchor cycle."""
+        return {"graph": self.graph.copy(), "last_heard": self._last_heard}
+
+    def restore_state(self, state, cycles_missed: int) -> None:
+        """Adopt a checkpointed graph *only* across a gap-free restart.
+
+        The broadcast retransmission window carries invalidation reports
+        but no graph diffs, so a graph missing the diffs of even one
+        unheard cycle lacks edges -- and a missing edge can wrongly
+        *accept* a cyclic read.  After any gap the safe move is the same
+        as :meth:`on_missed_cycle`: start from an empty graph and let
+        future diffs rebuild what future queries can reach.
+        """
+        if cycles_missed > 0:
+            return
+        self.graph = state["graph"].copy()
+        self._last_heard = state["last_heard"]
+
+    def reset_state(self) -> None:
+        self.graph = SerializationGraph()
+        self._last_heard = None
+
     # -- transaction lifecycle ------------------------------------------------------
 
     def begin(self, txn: ReadOnlyTransaction) -> None:

@@ -27,11 +27,13 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    resilience,
     retention,
     scalability,
     table1,
 )
 from repro.experiments.parallel import CellCache, make_executor
+from repro.faults.presets import preset_names
 
 #: Name -> module with a ``main(profile, ...)`` entry point, in run order.
 EXPERIMENTS = {
@@ -43,6 +45,7 @@ EXPERIMENTS = {
     "scalability": scalability,
     "retention": retention,
     "faults": faults,
+    "resilience": resilience,
 }
 
 
@@ -78,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="per-cell progress and wall/cpu speedup lines on stderr",
     )
+    parser.add_argument(
+        "--preset",
+        default=None,
+        metavar="NAME",
+        help=(
+            "named fault scenario for the faults experiment "
+            f"(known: {', '.join(preset_names())})"
+        ),
+    )
     return parser
 
 
@@ -91,6 +103,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"Unknown experiment(s): {', '.join(unknown)}; known: {known}")
         return 2
     selected = args.names or list(EXPERIMENTS)
+    if args.preset is not None:
+        if args.preset not in preset_names():
+            known = ", ".join(preset_names())
+            print(f"Unknown fault preset {args.preset!r}; known: {known}")
+            return 2
+        if selected != ["faults"]:
+            print("--preset only applies to the faults experiment")
+            return 2
     executor = make_executor(args.jobs)
     cache = CellCache(args.cache) if args.cache else None
 
@@ -103,6 +123,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         module = EXPERIMENTS[name]
         if name == "fig7":
             module.main()  # analytic; no simulation profile
+        elif name == "faults" and args.preset is not None:
+            module.main(
+                profile,
+                executor=executor,
+                cache=cache,
+                verbose=args.progress,
+                preset=args.preset,
+            )
         else:
             module.main(
                 profile, executor=executor, cache=cache, verbose=args.progress

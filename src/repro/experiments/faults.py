@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from repro.config import DEFAULTS, ModelParameters
 from repro.experiments.parallel import Cell, SerialExecutor, SweepPlan, run_plan
+from repro.faults.presets import get_preset
 from repro.experiments.render import render_sweep, render_table
 from repro.experiments.runner import (
     ExperimentProfile,
@@ -48,6 +49,9 @@ FAULT_SCHEMES: Sequence[str] = (
 #: Where the CSV artifacts land, relative to the working directory.
 RESULTS_DIR = Path("results")
 
+#: Severity multipliers swept when a named preset is selected.
+SEVERITY_SWEEP: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
 
 def plan(
     params: ModelParameters = DEFAULTS,
@@ -63,6 +67,33 @@ def plan(
     for name in schemes:
         for p in loss_sweep:
             result.add(name, params.with_faults(slot_loss=p), p, series=name)
+    return result
+
+
+def plan_preset(
+    preset_name: str,
+    params: ModelParameters = DEFAULTS,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    severities: Sequence[float] = SEVERITY_SWEEP,
+) -> SweepPlan:
+    """Abort rate vs. severity of one named scenario preset.
+
+    The preset pins the fault seed, so every scheme and every severity
+    faces the *same* weather pattern, only denser -- the x axis isolates
+    scenario intensity instead of mixing impairment kinds.
+    """
+    preset = get_preset(preset_name)
+    result = SweepPlan(
+        name=f"Faults: abort rate vs. severity of preset {preset.name!r}",
+        x_label="severity",
+        xs=[float(s) for s in severities],
+        y_label="abort rate",
+    )
+    for name in schemes:
+        for severity in severities:
+            result.add(
+                name, preset.apply(params, severity), severity, series=name
+            )
     return result
 
 
@@ -142,7 +173,30 @@ def main(
     executor=None,
     cache=None,
     verbose: bool = False,
+    preset: Optional[str] = None,
 ) -> None:
+    if preset is not None:
+        sweep = run_plan(
+            plan_preset(preset),
+            profile,
+            executor=executor,
+            cache=cache,
+            verbose=verbose,
+        )
+        print(render_sweep(sweep))
+        path = write_sweep_csv(
+            sweep,
+            str(RESULTS_DIR / f"faults_preset_{preset}.csv"),
+            params=DEFAULTS,
+            profile=profile,
+            extra={
+                "preset": preset,
+                "severities": list(SEVERITY_SWEEP),
+                "schemes": list(FAULT_SCHEMES),
+            },
+        )
+        print(f"Wrote {path}\n")
+        return
     sweep = run_loss_sweep(profile, executor=executor, cache=cache, verbose=verbose)
     print(render_sweep(sweep))
     path = write_csv(sweep, profile=profile)

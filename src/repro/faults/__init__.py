@@ -17,6 +17,12 @@ ground-truth oracle of :mod:`repro.verify`.
 
 from repro.faults.channel import FaultyChannel
 from repro.faults.injector import FaultInjector
+from repro.faults.presets import (
+    PRESETS,
+    ScenarioPreset,
+    get_preset,
+    preset_names,
+)
 from repro.faults.models import (
     BurstLoss,
     ControlCorruption,
@@ -37,10 +43,14 @@ __all__ = [
     "FaultInjector",
     "FaultModel",
     "FaultyChannel",
+    "PRESETS",
     "ReportDelay",
+    "ScenarioPreset",
     "SlotLoss",
     "StormDisconnections",
     "TruncatedCycle",
     "build_pipeline",
     "compute_storm_windows",
+    "get_preset",
+    "preset_names",
 ]

@@ -62,6 +62,16 @@ EV_FAULT_REPORT_MISSED = "fault.report_missed"
 EV_FAULT_REPORT_DELAYED = "fault.report_delayed"
 EV_FAULT_TRUNCATED = "fault.truncated"
 
+# QUERY level: resilience layer (see repro.resilience).
+EV_RESILIENCE_RETRY = "resilience.retry"
+EV_RESILIENCE_DEADLINE = "resilience.deadline"
+EV_RESILIENCE_WATCHDOG = "resilience.watchdog"
+EV_RESILIENCE_CRASH = "resilience.crash"
+EV_RESILIENCE_RESTART = "resilience.restart"
+EV_RESILIENCE_CHECKPOINT = "resilience.checkpoint"
+EV_RESILIENCE_RESTORE = "resilience.restore"
+EV_RESILIENCE_DEGRADE = "resilience.degrade"
+
 # READ level (client side, O(reads)).
 EV_QUERY_READ = "query.read"
 EV_CONTROL_DECODE = "control.decode"

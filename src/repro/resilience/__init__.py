@@ -1,0 +1,118 @@
+"""Client-side resilience: retry policies, recovery, degradation.
+
+The fault layer (:mod:`repro.faults`) decides what the air interface
+loses; this package decides *how the client fights back*.  It bundles,
+per client:
+
+* a :class:`~repro.resilience.policy.RetryPolicy` routing every aborted
+  attempt (immediate / capped exponential backoff / abort-cause-aware);
+* a :class:`~repro.resilience.watchdog.StarvationWatchdog` catching
+  queries that abort N consecutive attempts;
+* crash-restart recovery via :mod:`~repro.resilience.checkpoint`:
+  checkpointable state plus the incremental-catch-up vs
+  flush-and-rejoin resync choice;
+* a :class:`~repro.resilience.degradation.DegradationLadder` stepping
+  the cache down (autoprefetch off, then bypass) under sustained
+  control-info loss and back up when the channel heals.
+
+Everything is seeded from its own RNG tree -- the workload stream is
+never touched -- and all defaults reproduce the seed behaviour exactly:
+:func:`build_client_resilience` returns ``None`` for inactive
+parameters, and the client machine then runs its legacy fast path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import ResilienceParameters
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    ClientCheckpoint,
+    CrashSchedule,
+    select_resync,
+)
+from repro.resilience.degradation import DegradationLadder, DegradationLevel
+from repro.resilience.policy import (
+    POLICY_NAMES,
+    CauseAwareRetry,
+    ExponentialBackoff,
+    ImmediateRetry,
+    RetryDecision,
+    RetryPolicy,
+    build_policy,
+)
+from repro.resilience.watchdog import StarvationWatchdog
+
+#: Salt for the resilience RNG tree: same idea as the fault injector's,
+#: a different constant so the two trees never collide on a seed.
+_SEED_SALT = 0x5EED_4E54
+
+
+@dataclass
+class ClientResilience:
+    """One client's resilience bundle, wired by the simulation."""
+
+    params: ResilienceParameters
+    policy: RetryPolicy
+    watchdog: Optional[StarvationWatchdog] = None
+    checkpoints: Optional[CheckpointStore] = None
+    crashes: Optional[CrashSchedule] = None
+    ladder: Optional[DegradationLadder] = None
+
+
+def resilience_seed(res: ResilienceParameters, sim_seed: int) -> int:
+    """The root seed of the resilience RNG tree for one run."""
+    return res.seed if res.seed is not None else sim_seed ^ _SEED_SALT
+
+
+def build_client_resilience(
+    res: ResilienceParameters,
+    num_cycles: int,
+    rng: random.Random,
+) -> Optional[ClientResilience]:
+    """Build one client's bundle, or ``None`` when resilience is off.
+
+    ``rng`` is this client's branch of the resilience tree; each
+    component draws its own sub-seed in a fixed order so toggling one
+    knob never perturbs another component's schedule.
+    """
+    if not res.active:
+        return None
+    policy_rng = random.Random(rng.getrandbits(64))
+    crash_rng = random.Random(rng.getrandbits(64))
+    bundle = ClientResilience(params=res, policy=build_policy(res, policy_rng))
+    if res.watchdog_attempts > 0:
+        bundle.watchdog = StarvationWatchdog(res.watchdog_attempts)
+    if res.checkpoint_interval > 0:
+        bundle.checkpoints = CheckpointStore(res.checkpoint_interval)
+    if res.crash_rate > 0:
+        bundle.crashes = CrashSchedule.draw(
+            crash_rng, num_cycles, res.crash_rate, res.crash_length
+        )
+    if res.degrade_after > 0:
+        bundle.ladder = DegradationLadder(res.degrade_after, res.recover_after)
+    return bundle
+
+
+__all__ = [
+    "CauseAwareRetry",
+    "CheckpointStore",
+    "ClientCheckpoint",
+    "ClientResilience",
+    "CrashSchedule",
+    "DegradationLadder",
+    "DegradationLevel",
+    "ExponentialBackoff",
+    "ImmediateRetry",
+    "POLICY_NAMES",
+    "RetryDecision",
+    "RetryPolicy",
+    "StarvationWatchdog",
+    "build_client_resilience",
+    "build_policy",
+    "resilience_seed",
+    "select_resync",
+]

@@ -1,0 +1,94 @@
+"""The graceful-degradation ladder: step down under sustained loss.
+
+When the control channel keeps failing (corrupted reports, storms), a
+client that keeps trusting its cache pays resync flushes and forced
+aborts every few cycles.  The ladder trades read performance for
+stability instead:
+
+* ``NORMAL`` -- full behaviour: cache + autoprefetch.
+* ``NO_PREFETCH`` -- autoprefetch off; cached entries are still
+  invalidated by every report (so they are never stale), but no new
+  values are grabbed off the air speculatively.  This is the paper's
+  invalidation-only cache semantics, and strictly *less* caching than
+  NORMAL -- trivially still safe.
+* ``BYPASS_CACHE`` -- the cache is flushed and bypassed entirely; every
+  read goes to the air.  Nothing cached means nothing stale, whatever
+  the channel loses next.
+
+The ladder steps down after ``step_down_after`` consecutive
+fault-degraded cycles and steps back up one level after
+``step_up_after`` consecutive clean (fully heard) cycles.  Every
+transition is reported to the caller so the client machine can trace
+and count it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class DegradationLevel(enum.IntEnum):
+    """Ladder rungs; higher = more degraded (and more conservative)."""
+
+    NORMAL = 0
+    NO_PREFETCH = 1
+    BYPASS_CACHE = 2
+
+
+#: A transition as ``(from_level, to_level)``.
+Transition = Tuple[DegradationLevel, DegradationLevel]
+
+
+class DegradationLadder:
+    """Tracks channel health and moves between degradation levels."""
+
+    def __init__(self, step_down_after: int, step_up_after: int) -> None:
+        if step_down_after <= 0:
+            raise ValueError(
+                f"step_down_after must be positive, got {step_down_after}"
+            )
+        if step_up_after <= 0:
+            raise ValueError(f"step_up_after must be positive, got {step_up_after}")
+        self.step_down_after = step_down_after
+        self.step_up_after = step_up_after
+        self.level = DegradationLevel.NORMAL
+        self._faulty_streak = 0
+        self._clean_streak = 0
+        self.transitions = 0
+
+    def record_cycle(self, faulty: bool) -> Optional[Transition]:
+        """Feed one cycle's fate; returns a transition if one fired."""
+        if faulty:
+            self._clean_streak = 0
+            self._faulty_streak += 1
+            if (
+                self._faulty_streak >= self.step_down_after
+                and self.level < DegradationLevel.BYPASS_CACHE
+            ):
+                self._faulty_streak = 0
+                return self._move(DegradationLevel(self.level + 1))
+            return None
+        self._faulty_streak = 0
+        self._clean_streak += 1
+        if (
+            self._clean_streak >= self.step_up_after
+            and self.level > DegradationLevel.NORMAL
+        ):
+            self._clean_streak = 0
+            return self._move(DegradationLevel(self.level - 1))
+        return None
+
+    def force_step_down(self) -> Optional[Transition]:
+        """Escalation hook (watchdog): drop one level immediately."""
+        if self.level >= DegradationLevel.BYPASS_CACHE:
+            return None
+        self._faulty_streak = 0
+        self._clean_streak = 0
+        return self._move(DegradationLevel(self.level + 1))
+
+    def _move(self, to: DegradationLevel) -> Transition:
+        transition = (self.level, to)
+        self.level = to
+        self.transitions += 1
+        return transition

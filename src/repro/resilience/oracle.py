@@ -1,0 +1,414 @@
+"""The recovery differential oracle: crashes never buy a bad commit.
+
+Resilience earns its keep only if the recovery machinery is *safe*: a
+client that crashes, restores a checkpoint, catches up from the
+w-window, or degrades its cache must still never commit a readset the
+ground-truth oracle of :mod:`repro.verify` rejects.  This module pins
+that down as a runnable matrix -- scheme x fault mix x retry policy x
+seed -- with four checks per cell:
+
+1. **serializability** -- zero :func:`repro.verify.violations` among all
+   committed transactions of the crashed, faulted run;
+2. **liveness** -- no client stalls (a restarted client with runway left
+   must at least *attempt* again), and some crashed client commits after
+   its last crash (recovery completes end to end, not just survives);
+3. **convergence** -- the run keeps a configurable fraction of the
+   commit volume of its never-crashed twin (same workload and fault
+   seeds, ``crash_rate=0``);
+4. **replay** -- rebuilding and rerunning the exact configuration yields
+   a bit-identical metrics snapshot (recovery stays deterministic).
+
+``python -m repro.resilience.oracle`` runs the CI smoke matrix and, on
+failure, writes one JSON evidence file per failing cell under
+``--artifacts`` so the workflow can upload them -- same contract as the
+parallel-vs-serial determinism oracle.
+
+The full-depth matrix (5 schemes x 3+ fault mixes x 10+ seeds) lives in
+``tests/integration/test_resilience_oracle.py`` and is built from these
+same helpers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.config import ModelParameters
+from repro.core.control import ReportSchedule
+from repro.core.transaction import TransactionStatus
+from repro.experiments.schemes import scheme_factory
+from repro.runtime import Simulation
+from repro.stats import names as metric_names
+from repro.verify import violations
+
+#: Fault mixes the smoke matrix runs under (noise, fades, flaky control).
+FAULT_MIXES: Dict[str, Dict[str, float]] = {
+    "slot-loss": dict(slot_loss=0.1),
+    "burst-loss": dict(burst_rate=0.03, burst_length=5.0),
+    "control-loss": dict(control_loss=0.15),
+}
+
+#: Retry policies exercised; ``immediate`` keeps the seed's behaviour.
+POLICIES: Sequence[str] = ("immediate", "backoff", "cause-aware")
+
+#: CI smoke slice: one scheme per family crossed with everything above.
+SMOKE_SCHEMES: Sequence[str] = ("inval+cache", "sgt+cache", "mv-caching")
+SMOKE_SEEDS: Sequence[int] = (201, 202)
+
+#: Don't demand post-recovery activity when the last crash ends with
+#: fewer cycles than this left -- the client may legitimately still be
+#: thinking, backing off, or mid-attempt at the horizon.
+LIVENESS_SLACK_CYCLES = 10
+
+#: The crashed run must keep at least this fraction of its never-crashed
+#: twin's commit volume (crashes cost availability, not the workload).
+CONVERGENCE_FRACTION = 0.2
+
+
+def oracle_params(seed: int, num_cycles: int = 50, num_clients: int = 3) -> ModelParameters:
+    """A small, high-contention world mirroring the fault-oracle tests."""
+    return (
+        ModelParameters()
+        .with_server(
+            broadcast_size=60,
+            update_range=30,
+            offset=0,
+            updates_per_cycle=8,
+            transactions_per_cycle=3,
+            items_per_bucket=6,
+            retention=10,
+        )
+        .with_client(
+            read_range=30,
+            ops_per_query=5,
+            think_time=0.5,
+            cache_size=15,
+            max_attempts=4,
+        )
+        .with_sim(
+            num_cycles=num_cycles,
+            warmup_cycles=2,
+            num_clients=num_clients,
+            seed=seed,
+        )
+    )
+
+
+def resilient_params(
+    params: ModelParameters,
+    policy: str,
+    fault_kwargs: Mapping[str, float],
+    crash_rate: float = 0.06,
+) -> ModelParameters:
+    """``params`` with faults plus the full resilience stack enabled."""
+    # backoff_cap stays small relative to the oracle's short runs so a
+    # recovering client is not still asleep when the horizon hits.
+    return params.with_faults(**fault_kwargs).with_resilience(
+        retry_policy=policy,
+        backoff_cap=4,
+        checkpoint_interval=5,
+        catchup_window=8,
+        crash_rate=crash_rate,
+        crash_length=2.0,
+        watchdog_attempts=6,
+        degrade_after=4,
+        recover_after=3,
+    )
+
+
+def build_sim(scheme: str, params: ModelParameters) -> Simulation:
+    """One oracle simulation: history kept, w-window retransmission on
+    (so incremental catch-up is actually reachable)."""
+    return Simulation(
+        params,
+        scheme_factory=scheme_factory(scheme),
+        keep_history=True,
+        report_schedule=ReportSchedule(window=8),
+    )
+
+
+@dataclass
+class CaseOutcome:
+    """Everything one oracle cell needs to judge itself."""
+
+    label: str
+    violation_count: int
+    committed: int
+    twin_committed: int
+    crashes: int
+    restores: int
+    stalled_clients: int
+    recovered_clients: int
+    expected_recoveries: int
+    snapshot: Dict[str, float]
+    replay_snapshot: Dict[str, float]
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _committed_count(clients) -> int:
+    return sum(
+        1
+        for client in clients
+        for txn in client.completed
+        if txn.status is TransactionStatus.COMMITTED
+    )
+
+
+def _crash_liveness(sim: Simulation):
+    """Per-cell liveness evidence: (stalled, recovered, expected).
+
+    ``stalled`` counts clients that restarted with at least
+    ``LIVENESS_SLACK_CYCLES`` of runway yet never completed another
+    attempt -- committed *or* aborted -- which is what a genuinely stuck
+    client (a generator that never reschedules) looks like; a live but
+    unlucky client keeps aborting instead.  ``recovered`` counts crashed
+    clients that committed after their last crash, and ``expected`` the
+    crashed clients with enough runway that at least one of them should.
+    """
+    horizon = sim.params.sim.num_cycles - LIVENESS_SLACK_CYCLES
+    stalled = recovered = expected = 0
+    for client in sim.clients:
+        res = client.resilience
+        if res is None or res.crashes is None or not res.crashes.windows:
+            continue
+        last_end = max(last for _, last in res.crashes.windows)
+        if any(
+            txn.status is TransactionStatus.COMMITTED
+            and (txn.end_cycle or 0) > last_end
+            for txn in client.completed
+        ):
+            recovered += 1
+        if last_end > horizon:
+            continue
+        expected += 1
+        active = any(
+            (txn.end_cycle or 0) > last_end for txn in client.completed
+        )
+        if not active:
+            stalled += 1
+    return stalled, recovered, expected
+
+
+def run_case(
+    scheme: str,
+    fault_name: str,
+    policy: str,
+    seed: int,
+    num_cycles: int = 50,
+    convergence_fraction: float = CONVERGENCE_FRACTION,
+) -> CaseOutcome:
+    """Run one (scheme, fault mix, policy, seed) cell and judge it."""
+    fault_kwargs = FAULT_MIXES[fault_name]
+    base = oracle_params(seed, num_cycles=num_cycles)
+    crashed_params = resilient_params(base, policy, fault_kwargs)
+
+    sim = build_sim(scheme, crashed_params)
+    result = sim.run()
+    bad = violations(sim.clients, sim.database, sim.engine.history)
+    committed = _committed_count(sim.clients)
+
+    twin = build_sim(
+        scheme, resilient_params(base, policy, fault_kwargs, crash_rate=0.0)
+    )
+    twin.run()
+    twin_committed = _committed_count(twin.clients)
+
+    replay = build_sim(scheme, crashed_params)
+    replay.run()
+
+    def counter(name: str) -> int:
+        c = result.metrics.get_counter(name)
+        return c.value if c else 0
+
+    stalled, recovered, expected = _crash_liveness(sim)
+    outcome = CaseOutcome(
+        label=f"{scheme}/{fault_name}/{policy}/seed={seed}",
+        violation_count=len(bad),
+        committed=committed,
+        twin_committed=twin_committed,
+        crashes=counter(metric_names.RESILIENCE_CRASHES),
+        restores=counter(metric_names.RESILIENCE_CHECKPOINT_RESTORES),
+        stalled_clients=stalled,
+        recovered_clients=recovered,
+        expected_recoveries=expected,
+        snapshot=result.metrics.snapshot(),
+        replay_snapshot=replay.metrics.snapshot(),
+    )
+    if outcome.violation_count:
+        outcome.failures.append(
+            f"{outcome.violation_count} committed readset(s) failed the "
+            f"serializability oracle (e.g. {bad[0].txn_id})"
+        )
+    if outcome.stalled_clients:
+        outcome.failures.append(
+            f"{outcome.stalled_clients} client(s) stalled after restart "
+            "(no completed attempts despite runway)"
+        )
+    if twin_committed and committed < convergence_fraction * twin_committed:
+        outcome.failures.append(
+            f"commit volume collapsed: {committed} vs never-crashed twin's "
+            f"{twin_committed} (< {convergence_fraction:.0%})"
+        )
+    if outcome.snapshot != outcome.replay_snapshot:
+        changed = {
+            key
+            for key in set(outcome.snapshot) | set(outcome.replay_snapshot)
+            if outcome.snapshot.get(key) != outcome.replay_snapshot.get(key)
+        }
+        outcome.failures.append(
+            f"replay diverged on {len(changed)} metric(s): "
+            f"{sorted(changed)[:5]}"
+        )
+    return outcome
+
+
+def run_matrix(
+    schemes: Sequence[str] = SMOKE_SCHEMES,
+    fault_names: Sequence[str] = tuple(FAULT_MIXES),
+    policies: Sequence[str] = POLICIES,
+    seeds: Sequence[int] = SMOKE_SEEDS,
+    verbose: bool = False,
+) -> List[CaseOutcome]:
+    outcomes = []
+    for scheme in schemes:
+        for fault_name in fault_names:
+            for policy in policies:
+                for seed in seeds:
+                    outcome = run_case(scheme, fault_name, policy, seed)
+                    outcomes.append(outcome)
+                    if verbose:
+                        status = "ok" if outcome.ok else "FAIL"
+                        print(
+                            f"  {status:4} {outcome.label}: "
+                            f"committed={outcome.committed} "
+                            f"crashes={outcome.crashes} "
+                            f"restores={outcome.restores}"
+                        )
+    return outcomes
+
+
+def group_failures(outcomes: Sequence[CaseOutcome]) -> List[str]:
+    """Liveness judged per (scheme, fault, policy) group across seeds.
+
+    A single cell has only a couple of crashed clients, so "did one of
+    them commit again" is noise there; across every seed of a group it
+    is signal -- if *no* crashed client with runway ever commits again,
+    recovery is not completing for that configuration.
+    """
+    groups: Dict[str, List[CaseOutcome]] = {}
+    for outcome in outcomes:
+        groups.setdefault(outcome.label.rsplit("/", 1)[0], []).append(outcome)
+    failures = []
+    for label, members in groups.items():
+        expected = sum(o.expected_recoveries for o in members)
+        recovered = sum(o.recovered_clients for o in members)
+        if expected and not recovered:
+            failures.append(
+                f"{label}: no crashed client ever committed after its last "
+                f"crash across {len(members)} seed(s) ({expected} had runway)"
+            )
+    return failures
+
+
+def _write_artifacts(outcomes: List[CaseOutcome], artifacts: str) -> None:
+    out = Path(artifacts)
+    out.mkdir(parents=True, exist_ok=True)
+    for outcome in outcomes:
+        if outcome.ok:
+            continue
+        name = outcome.label.replace("/", "_").replace("=", "") + ".json"
+        record: Dict[str, Any] = {
+            "label": outcome.label,
+            "failures": outcome.failures,
+            "violations": outcome.violation_count,
+            "committed": outcome.committed,
+            "twin_committed": outcome.twin_committed,
+            "crashes": outcome.crashes,
+            "restores": outcome.restores,
+            "stalled_clients": outcome.stalled_clients,
+            "recovered_clients": outcome.recovered_clients,
+            "expected_recoveries": outcome.expected_recoveries,
+            "snapshot": outcome.snapshot,
+            "replay_snapshot": outcome.replay_snapshot,
+        }
+        (out / name).write_text(json.dumps(record, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.resilience.oracle",
+        description="recovery differential oracle (CI smoke matrix)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write JSON evidence for failing cells here",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="*",
+        default=list(SMOKE_SEEDS),
+        help=f"seeds to run (default: {list(SMOKE_SEEDS)})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell lines"
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        "Recovery oracle matrix: "
+        f"{len(SMOKE_SCHEMES)} schemes x {len(FAULT_MIXES)} fault mixes x "
+        f"{len(POLICIES)} policies x {len(args.seeds)} seeds"
+    )
+    outcomes = run_matrix(seeds=args.seeds, verbose=not args.quiet)
+    failing = [o for o in outcomes if not o.ok]
+    liveness = group_failures(outcomes)
+    total_crashes = sum(o.crashes for o in outcomes)
+    total_restores = sum(o.restores for o in outcomes)
+    total_recovered = sum(o.recovered_clients for o in outcomes)
+    print(
+        f"{len(outcomes)} cells, {total_crashes} crashes, "
+        f"{total_restores} checkpoint restores, "
+        f"{total_recovered} post-crash recoveries, {len(failing)} failing"
+    )
+    if liveness:
+        for failure in liveness:
+            print(f"FAIL {failure}")
+        if args.artifacts:
+            _write_artifacts(outcomes, args.artifacts)
+        return 1
+    # A passing matrix that never crashed, restored, or recovered
+    # proves nothing.
+    if not failing:
+        for count, what in (
+            (total_crashes, "no crashes fired"),
+            (total_restores, "no checkpoint restore exercised"),
+            (total_recovered, "no post-crash commit observed"),
+        ):
+            if count == 0:
+                print(f"matrix is vacuous: {what}")
+                return 1
+    if failing:
+        for outcome in failing:
+            print(f"FAIL {outcome.label}:")
+            for failure in outcome.failures:
+                print(f"  - {failure}")
+        if args.artifacts:
+            _write_artifacts(outcomes, args.artifacts)
+            print(f"evidence written under {args.artifacts}/")
+        return 1
+    print("recovery differential oracle: all cells clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

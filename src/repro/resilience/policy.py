@@ -1,0 +1,174 @@
+"""Retry policies: how a client re-attempts an aborted query.
+
+The seed client retried immediately, in the same cycle, up to
+``max_attempts`` times -- which under a burst fade or a hot-contention
+item burns the whole attempt budget without the world having changed.
+A :class:`RetryPolicy` decides, per abort, whether to retry at all and
+how many broadcast cycles to wait first:
+
+* :class:`ImmediateRetry` -- the seed behaviour, delay always zero;
+* :class:`ExponentialBackoff` -- capped exponential backoff in cycles
+  with optional seeded-deterministic jitter;
+* :class:`CauseAwareRetry` -- reacts per :class:`AbortReason` kind: a
+  disconnection-family abort always waits for at least one freshly heard
+  cycle (retrying while deaf is pointless), contention-family aborts get
+  one immediate retry then back off, and a gone version restarts
+  immediately (the retry re-pins a fresh snapshot).
+
+Delays are measured in *heard* broadcast cycles, the only clock a pure
+listener has.  All randomness comes from the policy's own seeded RNG,
+so schedules are bit-identical under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import ResilienceParameters
+from repro.core.transaction import AbortReason
+
+
+@dataclass(frozen=True)
+class RetryDecision:
+    """What to do after one aborted attempt."""
+
+    retry: bool
+    #: Broadcast cycles to wait before the next attempt (0 = same cycle).
+    delay_cycles: int = 0
+
+
+class RetryPolicy:
+    """Decides whether and when an aborted query attempt is retried."""
+
+    name: str = "abstract"
+
+    def new_query(self) -> None:
+        """A fresh query starts; per-query policy state resets."""
+
+    def decide(
+        self, attempt: int, reason: Optional[AbortReason]
+    ) -> RetryDecision:
+        """``attempt`` is the number of attempts already made (>= 1)."""
+        raise NotImplementedError
+
+
+class ImmediateRetry(RetryPolicy):
+    """The seed behaviour: always retry, never wait."""
+
+    name = "immediate"
+
+    def decide(
+        self, attempt: int, reason: Optional[AbortReason]
+    ) -> RetryDecision:
+        return RetryDecision(retry=True, delay_cycles=0)
+
+
+class ExponentialBackoff(RetryPolicy):
+    """Capped exponential backoff: ``min(cap, base * 2**(attempt-1))``.
+
+    With ``jitter > 0`` up to ``floor(jitter * delay)`` extra cycles are
+    added, drawn from the policy's seeded RNG; the total never exceeds
+    the cap, so the cap is a hard bound jitter included.
+    """
+
+    name = "backoff"
+
+    def __init__(
+        self,
+        base: int = 1,
+        cap: int = 8,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if cap < max(1, base):
+            raise ValueError(f"cap must be >= max(1, base), got {cap}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self.rng = rng
+
+    def delay_for(self, attempt: int) -> int:
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.cap, self.base * (2 ** (attempt - 1)))
+        if self.jitter > 0 and self.rng is not None:
+            span = int(self.jitter * delay)
+            if span > 0:
+                delay = min(self.cap, delay + self.rng.randrange(span + 1))
+        return delay
+
+    def decide(
+        self, attempt: int, reason: Optional[AbortReason]
+    ) -> RetryDecision:
+        return RetryDecision(retry=True, delay_cycles=self.delay_for(attempt))
+
+
+class CauseAwareRetry(RetryPolicy):
+    """Route each :class:`AbortReason` to a tailored schedule.
+
+    * ``DISCONNECTED`` -- the client just missed cycles; wait the backoff
+      schedule but never less than one heard cycle (an immediate retry
+      would block on the dead channel and burn an attempt per dead cycle).
+    * ``VERSION_GONE`` -- the pinned snapshot aged off the air; retry
+      immediately, the fresh attempt pins a new one.
+    * contention family (``INVALIDATED``, ``STALE_CACHE``,
+      ``CYCLE_DETECTED``) -- one immediate retry (the conflicting update
+      already landed, a re-read may succeed right away), then back off to
+      let the hot interval drain.
+    """
+
+    name = "cause-aware"
+
+    def __init__(self, backoff: ExponentialBackoff) -> None:
+        self.backoff = backoff
+        self._contention_aborts = 0
+
+    def new_query(self) -> None:
+        self._contention_aborts = 0
+
+    def decide(
+        self, attempt: int, reason: Optional[AbortReason]
+    ) -> RetryDecision:
+        if reason is AbortReason.DISCONNECTED:
+            return RetryDecision(
+                retry=True, delay_cycles=max(1, self.backoff.delay_for(attempt))
+            )
+        if reason is AbortReason.VERSION_GONE:
+            return RetryDecision(retry=True, delay_cycles=0)
+        self._contention_aborts += 1
+        if self._contention_aborts == 1:
+            return RetryDecision(retry=True, delay_cycles=0)
+        return RetryDecision(
+            retry=True,
+            delay_cycles=self.backoff.delay_for(self._contention_aborts - 1),
+        )
+
+
+#: Factory registry, kept in sync with ``repro.config.RETRY_POLICIES``.
+POLICY_NAMES = ("immediate", "backoff", "cause-aware")
+
+
+def build_policy(
+    res: ResilienceParameters, rng: Optional[random.Random] = None
+) -> RetryPolicy:
+    """Instantiate the configured policy with its own seeded RNG."""
+    if res.retry_policy == "immediate":
+        return ImmediateRetry()
+    backoff = ExponentialBackoff(
+        base=res.backoff_base,
+        cap=res.backoff_cap,
+        jitter=res.backoff_jitter,
+        rng=rng,
+    )
+    if res.retry_policy == "backoff":
+        return backoff
+    if res.retry_policy == "cause-aware":
+        return CauseAwareRetry(backoff)
+    known = ", ".join(POLICY_NAMES)
+    raise ValueError(f"Unknown retry policy {res.retry_policy!r}; known: {known}")

@@ -1,0 +1,40 @@
+"""The starvation watchdog: detect a client that aborts and aborts.
+
+A query that keeps aborting attempt after attempt is starving -- usually
+because the client's cache is poisoned with hot items or its scheme
+state traps every read in the same conflict.  The watchdog counts
+*consecutive* aborted attempts across the client's query stream; when
+the count reaches the threshold it escalates, and the client machine
+responds by flushing the cache and (if a degradation ladder is wired)
+forcing one step down.
+"""
+
+from __future__ import annotations
+
+
+class StarvationWatchdog:
+    """Escalates after ``threshold`` consecutive aborted attempts."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+        self.consecutive_aborts = 0
+        self.escalations = 0
+
+    def record_attempt(self, committed: bool) -> bool:
+        """Feed one finished attempt; returns True when escalating now.
+
+        The counter resets on every commit and after each escalation, so
+        escalations fire once per starvation spell, not once per attempt
+        beyond the threshold.
+        """
+        if committed:
+            self.consecutive_aborts = 0
+            return False
+        self.consecutive_aborts += 1
+        if self.consecutive_aborts >= self.threshold:
+            self.consecutive_aborts = 0
+            self.escalations += 1
+            return True
+        return False

@@ -42,6 +42,7 @@ from repro.obs.trace import (
     Tracer,
     gate,
 )
+from repro.resilience import build_client_resilience, resilience_seed
 from repro.server.broadcast import ProgramBuilder
 from repro.server.database import Database
 from repro.server.transactions import TransactionEngine, merge_outcomes
@@ -180,6 +181,14 @@ class Simulation:
             self.fault_injector = FaultInjector(
                 params.faults, params.sim, self.metrics, tracer=tracer
             )
+        # Resilience bundles draw from their own seeded RNG tree (like
+        # the fault injector), so enabling them never perturbs the
+        # workload or fault streams.
+        resilience_rng: Optional[random.Random] = None
+        if params.resilience.active:
+            resilience_rng = random.Random(
+                resilience_seed(params.resilience, params.sim.seed)
+            )
         self.clients: List[BroadcastClient] = []
         for client_id, scheme in enumerate(self.schemes):
             disconnect = None
@@ -197,6 +206,13 @@ class Simulation:
                         if disconnect is None
                         else UnionDisconnections([disconnect, storm])
                     )
+            resilience = None
+            if resilience_rng is not None:
+                resilience = build_client_resilience(
+                    params.resilience,
+                    params.sim.num_cycles,
+                    random.Random(resilience_rng.getrandbits(64)),
+                )
             self.clients.append(
                 BroadcastClient(
                     env=self.env,
@@ -209,6 +225,7 @@ class Simulation:
                     client_id=client_id,
                     warmup_cycles=params.sim.warmup_cycles,
                     tracer=tracer,
+                    resilience=resilience,
                 )
             )
 

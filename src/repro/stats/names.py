@@ -68,6 +68,38 @@ FAULT_FORCED_ABORTS = "fault.forced_aborts"
 #: Client-side outages caused by disconnect storms.
 FAULT_STORM_OUTAGES = "fault.storm_outages"
 
+# -- resilience layer (see repro.resilience) --------------------------------
+
+#: Retries issued through a retry policy (one per re-attempted abort).
+RESILIENCE_RETRIES = "resilience.retries_total"
+#: Sampler: cycles a retry policy made a query wait before re-attempting.
+RESILIENCE_RETRY_DELAY = "resilience.retry_delay_cycles"
+#: Queries abandoned because their deadline passed before completion.
+RESILIENCE_DEADLINE_ABANDONED = "resilience.deadline_abandoned"
+#: Watchdog escalations after N consecutive aborted attempts.
+RESILIENCE_WATCHDOG_ESCALATIONS = "resilience.watchdog_escalations"
+#: Client crashes injected by the crash schedule.
+RESILIENCE_CRASHES = "resilience.crashes"
+#: Client state checkpoints taken.
+RESILIENCE_CHECKPOINT_SAVES = "resilience.checkpoint_saves"
+#: Restarts that restored state from a checkpoint.
+RESILIENCE_CHECKPOINT_RESTORES = "resilience.checkpoint_restores"
+#: Degradation-ladder level changes (both directions).
+RESILIENCE_DEGRADATION_TRANSITIONS = "resilience.degradation_transitions"
+#: Sampler: cycles from restart/reconnect to the first commit after it.
+TIME_TO_RECOVER_CYCLES = "resilience.time_to_recover_cycles"
+
+#: Every resilience counter (samplers excluded), for summaries and CSVs.
+RESILIENCE_COUNTERS = (
+    RESILIENCE_RETRIES,
+    RESILIENCE_DEADLINE_ABANDONED,
+    RESILIENCE_WATCHDOG_ESCALATIONS,
+    RESILIENCE_CRASHES,
+    RESILIENCE_CHECKPOINT_SAVES,
+    RESILIENCE_CHECKPOINT_RESTORES,
+    RESILIENCE_DEGRADATION_TRANSITIONS,
+)
+
 #: Every fault counter, for summaries and CSV columns.
 FAULT_COUNTERS = (
     FAULT_SLOTS_LOST,

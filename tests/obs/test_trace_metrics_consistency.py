@@ -96,3 +96,88 @@ def test_accept_and_abort_attempts_match_registry_totals():
     info = analyzer.summary()
     assert info["accepted_measured"] == ratio.hits
     assert info["accepted_measured"] + info["aborted_measured"] == ratio.total
+
+
+def _run_resilient_traced(scheme: str, seed: int):
+    from repro.core.control import ReportSchedule
+
+    params = (
+        SMALL_WORLD.with_sim(
+            num_cycles=50, warmup_cycles=3, num_clients=3, seed=seed
+        )
+        .with_faults(**FAULTY)
+        .with_resilience(
+            retry_policy="cause-aware",
+            checkpoint_interval=5,
+            catchup_window=8,
+            crash_rate=0.06,
+            crash_length=2.0,
+            watchdog_attempts=4,
+            deadline_cycles=10,
+            degrade_after=3,
+        )
+    )
+    sink = RingBufferSink(1 << 18)
+    tracer = Tracer(level=TraceLevel.QUERY, sinks=[sink])
+    sim = Simulation(
+        params,
+        scheme_factory=scheme_factory(scheme),
+        tracer=tracer,
+        report_schedule=ReportSchedule(window=8),
+    )
+    result = sim.run()
+    assert sink.dropped == 0, "ring sized too small for an exact comparison"
+    return result, TraceAnalyzer.from_ring(sink)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+@pytest.mark.parametrize("scheme", ("inval+cache", "sgt+cache", "mv-caching"))
+def test_resilience_trace_events_match_counters_exactly(scheme, seed):
+    """Every resilience counter increment emits exactly one trace event
+    of the matching kind -- the observability contract extended to the
+    recovery machinery."""
+    from repro.obs.trace import (
+        EV_RESILIENCE_CHECKPOINT,
+        EV_RESILIENCE_CRASH,
+        EV_RESILIENCE_DEADLINE,
+        EV_RESILIENCE_DEGRADE,
+        EV_RESILIENCE_RESTART,
+        EV_RESILIENCE_RESTORE,
+        EV_RESILIENCE_RETRY,
+        EV_RESILIENCE_WATCHDOG,
+    )
+    from repro.stats import names as metric_names
+
+    result, analyzer = _run_resilient_traced(scheme, seed)
+    kinds = analyzer.kind_counts()
+
+    def metric(name):
+        counter = result.metrics.get_counter(name)
+        return counter.value if counter else 0
+
+    pairs = [
+        (EV_RESILIENCE_RETRY, metric_names.RESILIENCE_RETRIES),
+        (EV_RESILIENCE_CRASH, metric_names.RESILIENCE_CRASHES),
+        (EV_RESILIENCE_CHECKPOINT, metric_names.RESILIENCE_CHECKPOINT_SAVES),
+        (EV_RESILIENCE_RESTORE, metric_names.RESILIENCE_CHECKPOINT_RESTORES),
+        (EV_RESILIENCE_DEADLINE, metric_names.RESILIENCE_DEADLINE_ABANDONED),
+        (EV_RESILIENCE_WATCHDOG, metric_names.RESILIENCE_WATCHDOG_ESCALATIONS),
+        (
+            EV_RESILIENCE_DEGRADE,
+            metric_names.RESILIENCE_DEGRADATION_TRANSITIONS,
+        ),
+    ]
+    for kind, name in pairs:
+        assert kinds.get(kind, 0) == metric(name), (kind, name)
+    # The run must actually exercise the machinery to prove anything.
+    assert metric(metric_names.RESILIENCE_CRASHES) > 0
+    assert metric(metric_names.RESILIENCE_RETRIES) > 0
+    # Restarts happen on the first heard cycle after the outage, so an
+    # end-of-run crash may never restart -- but never the reverse.
+    assert kinds.get(EV_RESILIENCE_RESTART, 0) <= metric(
+        metric_names.RESILIENCE_CRASHES
+    )
+    # Time-to-recover samples only exist after a restart or reconnect.
+    ttr = result.metrics.get_sampler(metric_names.TIME_TO_RECOVER_CYCLES)
+    if ttr is not None and ttr.count:
+        assert kinds.get(EV_RESILIENCE_RESTART, 0) > 0

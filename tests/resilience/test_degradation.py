@@ -1,0 +1,76 @@
+"""Unit tests for the graceful-degradation ladder."""
+
+import pytest
+
+from repro.resilience.degradation import DegradationLadder, DegradationLevel
+
+
+def make(down=3, up=2):
+    return DegradationLadder(step_down_after=down, step_up_after=up)
+
+
+def test_steps_down_after_consecutive_faulty_cycles():
+    ladder = make(down=3)
+    assert ladder.record_cycle(faulty=True) is None
+    assert ladder.record_cycle(faulty=True) is None
+    transition = ladder.record_cycle(faulty=True)
+    assert transition == (DegradationLevel.NORMAL, DegradationLevel.NO_PREFETCH)
+    assert ladder.level is DegradationLevel.NO_PREFETCH
+
+
+def test_clean_cycle_resets_the_faulty_streak():
+    ladder = make(down=2)
+    ladder.record_cycle(faulty=True)
+    ladder.record_cycle(faulty=False)
+    assert ladder.record_cycle(faulty=True) is None  # streak restarted
+
+
+def test_descends_to_bypass_then_stops():
+    ladder = make(down=1)
+    assert ladder.record_cycle(faulty=True) == (
+        DegradationLevel.NORMAL,
+        DegradationLevel.NO_PREFETCH,
+    )
+    assert ladder.record_cycle(faulty=True) == (
+        DegradationLevel.NO_PREFETCH,
+        DegradationLevel.BYPASS_CACHE,
+    )
+    assert ladder.record_cycle(faulty=True) is None  # floor reached
+    assert ladder.level is DegradationLevel.BYPASS_CACHE
+
+
+def test_steps_back_up_one_level_per_clean_streak():
+    ladder = make(down=1, up=2)
+    ladder.record_cycle(faulty=True)
+    ladder.record_cycle(faulty=True)  # now BYPASS_CACHE
+    assert ladder.record_cycle(faulty=False) is None
+    assert ladder.record_cycle(faulty=False) == (
+        DegradationLevel.BYPASS_CACHE,
+        DegradationLevel.NO_PREFETCH,
+    )
+    assert ladder.record_cycle(faulty=False) is None
+    assert ladder.record_cycle(faulty=False) == (
+        DegradationLevel.NO_PREFETCH,
+        DegradationLevel.NORMAL,
+    )
+    assert ladder.transitions == 4
+
+
+def test_force_step_down_is_immediate_and_bounded():
+    ladder = make(down=10, up=10)
+    assert ladder.force_step_down() == (
+        DegradationLevel.NORMAL,
+        DegradationLevel.NO_PREFETCH,
+    )
+    assert ladder.force_step_down() == (
+        DegradationLevel.NO_PREFETCH,
+        DegradationLevel.BYPASS_CACHE,
+    )
+    assert ladder.force_step_down() is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DegradationLadder(step_down_after=0, step_up_after=1)
+    with pytest.raises(ValueError):
+        DegradationLadder(step_down_after=1, step_up_after=0)

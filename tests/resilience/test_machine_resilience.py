@@ -1,0 +1,185 @@
+"""Client-machine resilience behaviour, end to end through Simulation.
+
+Includes the regression test for the seed's blind-retry bug: the
+hardwired immediate-retry loop burned the whole ``max_attempts`` budget
+inside a single dead (disconnected) stretch, because nothing between
+attempts waited for the channel to come back.
+"""
+
+import pytest
+
+from repro.core.control import ReportSchedule
+from repro.core.transaction import AbortReason, TransactionStatus
+from repro.experiments.schemes import scheme_factory
+from repro.runtime import Simulation
+from repro.stats import names as metric_names
+
+
+def make_sim(params, scheme="inval+cache", window=0):
+    schedule = ReportSchedule(window=window) if window else None
+    return Simulation(
+        params,
+        scheme_factory=scheme_factory(scheme),
+        report_schedule=schedule,
+        keep_history=True,
+    )
+
+
+def counter(result, name):
+    c = result.metrics.get_counter(name)
+    return c.value if c else 0
+
+
+def burned_budgets(sim, max_attempts):
+    """Queries that spent their *whole* attempt budget on DISCONNECTED
+    aborts -- every retry went straight back into dead air."""
+    burned = 0
+    for client in sim.clients:
+        by_query = {}
+        for txn in client.completed:
+            qid = txn.txn_id.rsplit(".", 1)[0]
+            by_query.setdefault(qid, []).append(txn)
+        for attempts in by_query.values():
+            if len(attempts) < max_attempts:
+                continue
+            if all(
+                t.status is TransactionStatus.ABORTED
+                and t.abort_reason is AbortReason.DISCONNECTED
+                for t in attempts
+            ):
+                burned += 1
+    return burned
+
+
+@pytest.fixture
+def stormy_params(small_params):
+    """Long correlated outages: the blind-retry pathology's home turf."""
+    return small_params.with_sim(num_cycles=60, num_clients=4).with_faults(
+        burst_rate=0.1, burst_length=10.0
+    )
+
+
+def test_blind_retry_burns_attempt_budgets_on_dead_air(stormy_params):
+    """The regression harness has teeth: with the seed's immediate
+    policy, queries exhaust every attempt on the dead channel."""
+    params = stormy_params.with_client(max_attempts=4)
+    sim = make_sim(params)
+    sim.run()
+    assert burned_budgets(sim, max_attempts=4) > 0
+
+
+def test_cause_aware_policy_curbs_the_dead_air_burn(stormy_params):
+    """Routed through the policy, a DISCONNECTED abort waits for at
+    least one freshly heard cycle before retrying, so far fewer attempt
+    budgets vanish into outages than under the seed's blind retry --
+    same workload, same fault schedule."""
+    params = stormy_params.with_client(max_attempts=4)
+    blind = make_sim(params)
+    blind.run()
+    routed = make_sim(params.with_resilience(retry_policy="cause-aware"))
+    routed_result = routed.run()
+    blind_burn = burned_budgets(blind, max_attempts=4)
+    routed_burn = burned_budgets(routed, max_attempts=4)
+    assert blind_burn > 0
+    assert routed_burn < blind_burn
+    assert counter(routed_result, metric_names.RESILIENCE_RETRIES) > 0
+
+
+def test_resilience_defaults_leave_the_seed_path_untouched(small_params):
+    """Inactive resilience parameters must not change a single metric
+    (the client runs its legacy fast path, no bundle built)."""
+    plain = Simulation(
+        small_params, scheme_factory=scheme_factory("inval+cache")
+    )
+    assert all(c.resilience is None for c in plain.clients)
+    configured = Simulation(
+        small_params.with_resilience(),  # no-op fluent call
+        scheme_factory=scheme_factory("inval+cache"),
+    )
+    assert plain.run().metrics.snapshot() == configured.run().metrics.snapshot()
+
+
+def test_crash_restart_with_checkpoint_restores(small_params):
+    params = small_params.with_sim(num_cycles=60).with_resilience(
+        retry_policy="cause-aware",
+        checkpoint_interval=5,
+        catchup_window=8,
+        crash_rate=0.08,
+        crash_length=2.0,
+    )
+    sim = make_sim(params, window=8)
+    result = sim.run()
+    assert counter(result, metric_names.RESILIENCE_CRASHES) > 0
+    assert counter(result, metric_names.RESILIENCE_CHECKPOINT_SAVES) > 0
+    assert counter(result, metric_names.RESILIENCE_CHECKPOINT_RESTORES) > 0
+    ttr = result.metrics.get_sampler(metric_names.TIME_TO_RECOVER_CYCLES)
+    assert ttr is not None and ttr.count > 0
+
+
+def test_crashes_never_buy_a_bad_commit(small_params):
+    from repro.verify import violations
+
+    params = small_params.with_sim(num_cycles=60).with_resilience(
+        retry_policy="backoff",
+        checkpoint_interval=4,
+        crash_rate=0.08,
+        crash_length=2.0,
+    )
+    sim = make_sim(params, scheme="sgt+cache", window=8)
+    sim.run()
+    assert violations(sim.clients, sim.database, sim.engine.history) == []
+
+
+def test_degradation_ladder_steps_down_and_back_up(small_params):
+    params = (
+        small_params.with_sim(num_cycles=80, num_clients=4)
+        .with_faults(burst_rate=0.06, burst_length=5.0)
+        .with_resilience(degrade_after=3, recover_after=2)
+    )
+    sim = make_sim(params)
+    result = sim.run()
+    transitions = counter(
+        result, metric_names.RESILIENCE_DEGRADATION_TRANSITIONS
+    )
+    assert transitions > 0
+    ladders = [
+        c.resilience.ladder for c in sim.clients if c.resilience is not None
+    ]
+    assert any(ladder.transitions > 0 for ladder in ladders)
+    # At least one client stepped down *and* came back (healing works).
+    assert any(
+        ladder.transitions >= 2 and ladder.level == 0 for ladder in ladders
+    )
+
+
+def test_watchdog_escalates_under_starvation(hot_params):
+    params = hot_params.with_client(max_attempts=6).with_resilience(
+        watchdog_attempts=3
+    )
+    sim = make_sim(params, scheme="inval")
+    result = sim.run()
+    assert counter(result, metric_names.RESILIENCE_WATCHDOG_ESCALATIONS) > 0
+
+
+def test_deadline_abandons_long_running_queries(stormy_params):
+    params = stormy_params.with_client(max_attempts=8).with_resilience(
+        retry_policy="backoff", backoff_base=2, deadline_cycles=4
+    )
+    sim = make_sim(params)
+    result = sim.run()
+    assert counter(result, metric_names.RESILIENCE_DEADLINE_ABANDONED) > 0
+
+
+def test_resilience_run_is_bit_identical_on_replay(small_params):
+    params = small_params.with_sim(num_cycles=50).with_resilience(
+        retry_policy="cause-aware",
+        backoff_jitter=0.5,
+        checkpoint_interval=5,
+        crash_rate=0.06,
+        watchdog_attempts=4,
+        degrade_after=3,
+    )
+    snapshots = [
+        make_sim(params, window=8).run().metrics.snapshot() for _ in range(2)
+    ]
+    assert snapshots[0] == snapshots[1]

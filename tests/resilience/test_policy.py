@@ -1,0 +1,134 @@
+"""Unit tests for the retry policies (repro.resilience.policy)."""
+
+import random
+
+import pytest
+
+from repro.config import ResilienceParameters
+from repro.core.transaction import AbortReason
+from repro.resilience.policy import (
+    CauseAwareRetry,
+    ExponentialBackoff,
+    ImmediateRetry,
+    RetryDecision,
+    build_policy,
+)
+
+
+class TestImmediateRetry:
+    def test_always_retries_with_zero_delay(self):
+        policy = ImmediateRetry()
+        for attempt in range(1, 10):
+            for reason in list(AbortReason) + [None]:
+                assert policy.decide(attempt, reason) == RetryDecision(
+                    retry=True, delay_cycles=0
+                )
+
+
+class TestExponentialBackoff:
+    def test_doubles_until_cap(self):
+        policy = ExponentialBackoff(base=1, cap=8)
+        assert [policy.delay_for(a) for a in range(1, 7)] == [1, 2, 4, 8, 8, 8]
+
+    def test_base_scales_the_whole_schedule(self):
+        policy = ExponentialBackoff(base=2, cap=16)
+        assert [policy.delay_for(a) for a in range(1, 5)] == [2, 4, 8, 16]
+
+    def test_zero_base_means_zero_delay(self):
+        policy = ExponentialBackoff(base=0, cap=4)
+        assert all(policy.delay_for(a) == 0 for a in range(1, 6))
+
+    def test_jitter_requires_rng_to_fire(self):
+        # Without an RNG, jitter silently stays off (deterministic path).
+        policy = ExponentialBackoff(base=1, cap=8, jitter=0.5, rng=None)
+        assert policy.delay_for(4) == 8
+
+    def test_jitter_never_exceeds_cap(self):
+        policy = ExponentialBackoff(
+            base=1, cap=8, jitter=1.0, rng=random.Random(3)
+        )
+        assert all(policy.delay_for(a) <= 8 for a in range(1, 50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=-1)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=4, cap=2)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter=1.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff().delay_for(0)
+
+
+class TestCauseAwareRetry:
+    def make(self):
+        return CauseAwareRetry(ExponentialBackoff(base=1, cap=8))
+
+    def test_disconnection_always_waits_at_least_one_cycle(self):
+        policy = self.make()
+        for attempt in range(1, 6):
+            decision = policy.decide(attempt, AbortReason.DISCONNECTED)
+            assert decision.retry and decision.delay_cycles >= 1
+
+    def test_version_gone_retries_immediately(self):
+        policy = self.make()
+        decision = policy.decide(3, AbortReason.VERSION_GONE)
+        assert decision == RetryDecision(retry=True, delay_cycles=0)
+
+    def test_contention_first_retry_free_then_backs_off(self):
+        policy = self.make()
+        policy.new_query()
+        first = policy.decide(1, AbortReason.INVALIDATED)
+        second = policy.decide(2, AbortReason.STALE_CACHE)
+        third = policy.decide(3, AbortReason.CYCLE_DETECTED)
+        assert first.delay_cycles == 0
+        assert second.delay_cycles == 1
+        assert third.delay_cycles == 2
+
+    def test_contention_counter_resets_per_query(self):
+        policy = self.make()
+        policy.new_query()
+        policy.decide(1, AbortReason.INVALIDATED)
+        policy.decide(2, AbortReason.INVALIDATED)
+        policy.new_query()
+        assert policy.decide(1, AbortReason.INVALIDATED).delay_cycles == 0
+
+    def test_mixed_reasons_do_not_advance_contention_schedule(self):
+        policy = self.make()
+        policy.new_query()
+        policy.decide(1, AbortReason.INVALIDATED)  # contention #1: free
+        policy.decide(2, AbortReason.DISCONNECTED)  # not contention
+        decision = policy.decide(3, AbortReason.STALE_CACHE)  # contention #2
+        assert decision.delay_cycles == 1
+
+
+class TestBuildPolicy:
+    def test_names_route_to_classes(self):
+        assert isinstance(
+            build_policy(ResilienceParameters(retry_policy="immediate")),
+            ImmediateRetry,
+        )
+        assert isinstance(
+            build_policy(ResilienceParameters(retry_policy="backoff")),
+            ExponentialBackoff,
+        )
+        assert isinstance(
+            build_policy(ResilienceParameters(retry_policy="cause-aware")),
+            CauseAwareRetry,
+        )
+
+    def test_backoff_knobs_are_threaded_through(self):
+        res = ResilienceParameters(
+            retry_policy="backoff", backoff_base=2, backoff_cap=32
+        )
+        policy = build_policy(res)
+        assert policy.base == 2 and policy.cap == 32
+
+    def test_unknown_name_raises(self):
+        import dataclasses
+
+        res = dataclasses.replace(
+            ResilienceParameters(), retry_policy="telepathy"
+        )
+        with pytest.raises(ValueError, match="telepathy"):
+            build_policy(res)

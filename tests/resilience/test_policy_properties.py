@@ -1,0 +1,74 @@
+"""Property tests for backoff schedules (Hypothesis).
+
+The four load-bearing properties of a retry schedule:
+
+* the cap is a hard bound, jitter included;
+* the deterministic schedule is non-decreasing before the cap;
+* under a fixed seed the jittered schedule is bit-identical;
+* ``immediate`` is exactly the zero-delay schedule, whatever the abort.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transaction import AbortReason
+from repro.resilience.policy import ExponentialBackoff, ImmediateRetry
+
+bases = st.integers(min_value=0, max_value=8)
+caps = st.integers(min_value=8, max_value=64)
+attempts = st.integers(min_value=1, max_value=40)
+jitters = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(base=bases, cap=caps, jitter=jitters, seed=seeds, attempt=attempts)
+@settings(max_examples=200)
+def test_cap_is_a_hard_bound_jitter_included(base, cap, jitter, seed, attempt):
+    policy = ExponentialBackoff(
+        base=base, cap=cap, jitter=jitter, rng=random.Random(seed)
+    )
+    assert 0 <= policy.delay_for(attempt) <= cap
+
+
+@given(base=bases, cap=caps)
+def test_schedule_is_non_decreasing_without_jitter(base, cap):
+    policy = ExponentialBackoff(base=base, cap=cap)
+    delays = [policy.delay_for(a) for a in range(1, 20)]
+    assert delays == sorted(delays)
+    # ... and saturates exactly at the cap (unless base is zero).
+    if base > 0:
+        assert delays[-1] == cap
+
+
+@given(base=bases, cap=caps, jitter=jitters, seed=seeds)
+@settings(max_examples=100)
+def test_jitter_is_deterministic_under_a_fixed_seed(base, cap, jitter, seed):
+    schedule = lambda: [
+        ExponentialBackoff(
+            base=base, cap=cap, jitter=jitter, rng=random.Random(seed)
+        ).delay_for(a)
+        for a in range(1, 30)
+    ]
+    assert schedule() == schedule()
+
+
+@given(
+    attempt=attempts,
+    reason=st.sampled_from(list(AbortReason) + [None]),
+)
+def test_immediate_is_the_zero_delay_schedule(attempt, reason):
+    decision = ImmediateRetry().decide(attempt, reason)
+    assert decision.retry is True
+    assert decision.delay_cycles == 0
+
+
+@given(base=bases, cap=caps, seed=seeds, attempt=attempts)
+@settings(max_examples=100)
+def test_zero_jitter_equals_the_deterministic_schedule(base, cap, seed, attempt):
+    with_rng = ExponentialBackoff(
+        base=base, cap=cap, jitter=0.0, rng=random.Random(seed)
+    )
+    without = ExponentialBackoff(base=base, cap=cap)
+    assert with_rng.delay_for(attempt) == without.delay_for(attempt)

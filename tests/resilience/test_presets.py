@@ -1,0 +1,58 @@
+"""Unit tests for the named fault scenario presets."""
+
+import pytest
+
+from repro.config import ModelParameters
+from repro.faults.presets import PRESETS, get_preset, preset_names
+
+
+def test_registry_is_non_empty_and_consistent():
+    assert set(preset_names()) == set(PRESETS)
+    for name, preset in PRESETS.items():
+        assert preset.name == name
+        assert preset.description
+        assert preset.faults.seed is not None, f"{name} must pin its seed"
+        assert preset.faults.active, f"{name} must actually inject faults"
+
+
+def test_seeds_are_distinct():
+    seeds = [p.faults.seed for p in PRESETS.values()]
+    assert len(seeds) == len(set(seeds))
+
+
+def test_severity_scales_probabilities_but_not_shapes():
+    preset = get_preset("deep-fade")
+    half = preset.scaled(0.5)
+    assert half.burst_rate == pytest.approx(preset.faults.burst_rate * 0.5)
+    assert half.burst_length == preset.faults.burst_length  # shape fixed
+    assert half.seed == preset.faults.seed  # schedule seed fixed
+
+
+def test_severity_zero_is_a_perfect_channel():
+    for preset in PRESETS.values():
+        assert not preset.scaled(0.0).active
+
+
+def test_severity_caps_probabilities_at_one():
+    preset = get_preset("flaky-control")
+    extreme = preset.scaled(100.0)
+    assert extreme.control_loss == 1.0
+    assert extreme.validate() is None  # still a legal configuration
+
+
+def test_negative_severity_rejected():
+    with pytest.raises(ValueError):
+        get_preset("urban-noise").scaled(-0.1)
+
+
+def test_apply_replaces_faults_wholesale():
+    params = ModelParameters().with_faults(slot_loss=0.5, seed=1)
+    applied = get_preset("storm-season").apply(params)
+    assert applied.faults.slot_loss == 0.0  # old knobs gone
+    assert applied.faults.storm_rate == pytest.approx(0.08)
+    assert applied.faults.seed == 0xF004
+
+
+def test_unknown_preset_raises_with_known_names():
+    with pytest.raises(ValueError, match="urban-noise"):
+        get_preset("sunny-day")

@@ -1,0 +1,36 @@
+"""Unit tests for the starvation watchdog."""
+
+import pytest
+
+from repro.resilience.watchdog import StarvationWatchdog
+
+
+def test_escalates_at_threshold():
+    dog = StarvationWatchdog(threshold=3)
+    assert not dog.record_attempt(committed=False)
+    assert not dog.record_attempt(committed=False)
+    assert dog.record_attempt(committed=False)
+    assert dog.escalations == 1
+
+
+def test_commit_resets_the_streak():
+    dog = StarvationWatchdog(threshold=3)
+    dog.record_attempt(committed=False)
+    dog.record_attempt(committed=False)
+    dog.record_attempt(committed=True)
+    assert not dog.record_attempt(committed=False)
+    assert not dog.record_attempt(committed=False)
+    assert dog.escalations == 0
+
+
+def test_one_escalation_per_starvation_spell():
+    dog = StarvationWatchdog(threshold=2)
+    fired = [dog.record_attempt(committed=False) for _ in range(6)]
+    # Fires at attempts 2, 4, 6 -- once per spell, not once per attempt.
+    assert fired == [False, True, False, True, False, True]
+    assert dog.escalations == 3
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        StarvationWatchdog(threshold=0)
