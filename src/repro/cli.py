@@ -98,6 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run server transactions under the real 2PL lock manager",
     )
+    run.add_argument(
+        "--cohorts",
+        action="store_true",
+        help=(
+            "advance the client population with the cohort engine "
+            "(repro.cohort) instead of one kernel process per client; "
+            "aggregates match the discrete engine exactly, memory stays "
+            "bounded in --cohort-size, so --clients can reach 10^5+"
+        ),
+    )
+    run.add_argument(
+        "--cohort-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="clients advanced per cohort chunk (default: 4096)",
+    )
     fault = run.add_argument_group(
         "fault injection", "degrade the air interface (see repro.faults)"
     )
@@ -351,6 +368,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="named fault scenario for the faults experiment",
     )
     experiments.add_argument(
+        "--cohorts",
+        action="store_true",
+        help=(
+            "scalability experiment only: sweep the cohort engine to "
+            "10^5 clients (see repro.cohort)"
+        ),
+    )
+    experiments.add_argument(
+        "--cohort-out",
+        default=None,
+        metavar="FILE",
+        help="with --cohorts: also write the sweep as a bench JSON",
+    )
+    experiments.add_argument(
         "--check",
         action="store_true",
         help="run the parallel-vs-serial determinism oracle instead",
@@ -424,6 +455,50 @@ def _params_from(args: argparse.Namespace) -> ModelParameters:
     )
 
 
+def _result_rows(result) -> List[List[str]]:
+    """Summary-table rows shared by the discrete and cohort run paths."""
+    rows = [
+        ["scheme", result.scheme_label],
+        ["cycles", str(result.cycles_completed)],
+        ["mean bcast length (buckets)", f"{result.mean_cycle_slots:.1f}"],
+        ["attempts", str(result.total_attempts)],
+        ["committed", str(result.committed_attempts)],
+        ["abort rate", f"{result.abort_rate:.3f}"],
+        ["latency (cycles)", f"{result.mean_latency_cycles:.2f}"],
+        ["span (cycles)", f"{result.mean_span:.2f}"],
+    ]
+    for name, counter in sorted(result.metrics.counters()):
+        if name.startswith("abort."):
+            rows.append([name, str(counter.value)])
+    return rows
+
+
+def _run_cohorts(args, params, schedule) -> int:
+    """`repro run --cohorts`: cohort-engine population run."""
+    from repro.cohort import CohortSimulation
+
+    try:
+        sim = CohortSimulation(
+            params,
+            scheme_factory=scheme_factory(args.scheme),
+            report_schedule=schedule,
+            cohort_size=args.cohort_size,
+        )
+    except ValueError as error:
+        print(f"--cohorts: {error}")
+        return 2
+    result = sim.run()
+    rows = _result_rows(result)
+    rows.append(["clients (cohort mode)", str(params.sim.num_clients)])
+    rows.append(["cohort size", str(args.cohort_size)])
+    rows.append(["client steps", str(sim.steps)])
+    if params.faults.active:
+        for name, value in sorted(result.metrics.fault_summary().items()):
+            rows.append([name, str(value)])
+    print(render_table(["measure", "value"], rows, title="simulation result"))
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
     from repro import __version__
 
@@ -431,6 +506,24 @@ def _command_run(args: argparse.Namespace) -> int:
     schedule = ReportSchedule(
         per_cycle=args.reports_per_cycle, window=args.report_window
     )
+    if args.cohorts:
+        unsupported = [
+            flag
+            for flag, on in (
+                ("--trace", bool(args.trace)),
+                ("--verify", args.verify),
+                ("--interleaved-server", args.interleaved_server),
+            )
+            if on
+        ]
+        if unsupported:
+            print(
+                f"--cohorts is incompatible with {', '.join(unsupported)}: "
+                "the cohort engine aggregates metrics only (use the "
+                "discrete engine for per-event tooling)"
+            )
+            return 2
+        return _run_cohorts(args, params, schedule)
     tracer = None
     if args.trace:
         manifest_path = write_manifest(
@@ -463,19 +556,7 @@ def _command_run(args: argparse.Namespace) -> int:
         tracer.close()
         print(f"trace written to {args.trace}")
 
-    rows = [
-        ["scheme", result.scheme_label],
-        ["cycles", str(result.cycles_completed)],
-        ["mean bcast length (buckets)", f"{result.mean_cycle_slots:.1f}"],
-        ["attempts", str(result.total_attempts)],
-        ["committed", str(result.committed_attempts)],
-        ["abort rate", f"{result.abort_rate:.3f}"],
-        ["latency (cycles)", f"{result.mean_latency_cycles:.2f}"],
-        ["span (cycles)", f"{result.mean_span:.2f}"],
-    ]
-    for name, counter in sorted(result.metrics.counters()):
-        if name.startswith("abort."):
-            rows.append([name, str(counter.value)])
+    rows = _result_rows(result)
     if params.faults.active:
         for name, value in sorted(result.metrics.fault_summary().items()):
             rows.append([name, str(value)])
@@ -608,6 +689,10 @@ def _command_experiments(args: argparse.Namespace) -> int:
         argv.append("--progress")
     if args.preset:
         argv += ["--preset", args.preset]
+    if args.cohorts:
+        argv.append("--cohorts")
+    if args.cohort_out:
+        argv += ["--cohort-out", args.cohort_out]
     return experiments_main(argv)
 
 

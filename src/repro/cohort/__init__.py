@@ -1,0 +1,14 @@
+"""Cohort-client population engine.
+
+Advances whole cohorts of statistically-identical clients cycle by cycle
+against a pre-computed server broadcast trace, instead of scheduling one
+event-kernel process per client.  The per-scheme decision rules are the
+*same objects* as in the discrete simulation -- ``BroadcastClient``, the
+``Scheme`` subclasses, the cache, the fault pipeline -- driven through a
+two-method environment shim, so cohort aggregates match N discrete
+clients exactly under shared seeds (pinned by ``repro.cohort.oracle``).
+"""
+
+from repro.cohort.engine import CohortSimulation
+
+__all__ = ["CohortSimulation"]

@@ -1,0 +1,254 @@
+"""The cohort driver: advance whole client cohorts cycle by cycle.
+
+Instead of interleaving every client's events through one kernel heap,
+the driver exploits client independence (no client ever influences the
+server or another client) to advance each member *client-major*: all of
+one client's events within a cycle run before the next client's.  Both
+orders execute the identical multiset of per-client steps with identical
+per-client clocks and RNG streams, so every counter, ratio and sampler
+exact-sum is equal to the discrete run's -- the property
+:mod:`repro.cohort.oracle` checks exhaustively.
+
+Per member and cycle boundary ``T1`` the driver replays the kernel's
+scheduling rules:
+
+1. run every pending timeout with wake time strictly before ``T1``
+   (kernel: those events precede the server's boundary timeout, which
+   carries the oldest event id at that instant);
+2. decide the cycle's fate (fault pipeline) at ``T1``;
+3. on a lost control segment: ``on_signal_lost`` fires at ``T1`` and the
+   client keeps its pending state into the next cycle;
+4. on a delayed control segment: run wakes strictly below the install
+   instant first (they park on the desynchronized channel exactly as
+   they would against the live ``FaultyChannel``), then install;
+5. install (listener callback: cache + scheme control processing), then
+   resume a parked client -- the kernel's ``succeed`` gives resumed
+   waiters the freshest event ids, so they run after the installation
+   either way.
+
+A timeout landing *exactly* on a boundary fires at the top of the next
+cycle's step 1 with the same clock value -- after installation, matching
+the kernel's event-id order (the server's boundary timeout is always
+older).  At the end of the run, a wake exactly at the stop instant runs
+once before the simulation stops, again matching event-id order.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional
+
+from repro.client.disconnect import DisconnectionModel, UnionDisconnections
+from repro.client.machine import BroadcastClient
+from repro.cohort.channel import CohortChannel
+from repro.cohort.shim import CohortEnv, Wake
+from repro.config import ModelParameters
+from repro.core.base import Scheme
+from repro.core.control import BroadcastRequirements, ReportSchedule
+from repro.faults.injector import FaultInjector
+from repro.cohort.trace import ServerTrace, build_trace
+from repro.runtime import SimulationResult
+from repro.stats.metrics import MetricsRegistry
+
+
+class _Member:
+    """One client's generator, clock and channel under the driver."""
+
+    __slots__ = ("client", "channel", "env", "gen", "wake", "steps")
+
+    def __init__(
+        self, client: BroadcastClient, channel: CohortChannel, env: CohortEnv
+    ) -> None:
+        self.client = client
+        self.channel = channel
+        self.env = env
+        #: ``env.process`` hands the run() generator back unstarted.
+        self.gen = client.process
+        #: Pending wake time; ``None`` means parked until the next install.
+        self.wake: Optional[float] = None
+        self.steps = 0
+
+    def advance(self) -> None:
+        """Step the generator once and classify what it is waiting on."""
+        self.steps += 1
+        try:
+            value = next(self.gen)
+        except StopIteration:  # pragma: no cover - clients loop forever
+            self.wake = math.inf
+            return
+        if type(value) is Wake:
+            self.wake = value.at
+        else:
+            self.wake = None
+
+    def run_until(self, limit: float) -> None:
+        """Fire pending timeouts with wake strictly before ``limit``."""
+        while self.wake is not None and self.wake < limit:
+            self.env.now = self.wake
+            self.advance()
+
+    def deliver(self, start: float, program) -> None:
+        """Advance this member across one full broadcast cycle."""
+        self.run_until(start)
+        delay, lost, control_lost = self.channel.prepare_cycle(program)
+        if control_lost:
+            # The cycle is missed: the client's knowledge (and any pending
+            # timeout) carries over; only the listener hook fires.
+            self.env.now = start
+            self.channel.signal_lost(program.cycle)
+            return
+        if delay:
+            install_at = start + delay
+            self.run_until(install_at)
+            self.env.now = install_at
+        else:
+            self.env.now = start
+        self.channel.install(program, lost, start)
+        if self.wake is None:
+            # Parked on cycle_started: resumes now, after installation.
+            self.advance()
+
+    def finish(self, end_time: float) -> None:
+        """Run out the tail of the simulation up to the stop instant."""
+        self.run_until(end_time)
+        if self.wake == end_time:
+            # A timeout scheduled before the stop instant and landing
+            # exactly on it still fires (older event id than the stop).
+            self.env.now = end_time
+            self.advance()
+
+
+class CohortSimulation:
+    """Drop-in alternative to :class:`~repro.runtime.Simulation` that
+    replays one server trace to chunked cohorts of clients.
+
+    Memory stays bounded in the cohort size, not the population: each
+    cohort's clients are built lazily (in client-id order, so the master
+    RNG draw sequence matches the discrete constructor's), run to
+    completion against the shared trace, and released.
+    """
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        scheme_factory: Callable[[], Scheme],
+        disconnect_factory: Optional[
+            Callable[[random.Random], DisconnectionModel]
+        ] = None,
+        report_schedule: Optional[ReportSchedule] = None,
+        cohort_size: int = 4096,
+    ) -> None:
+        params.validate()
+        if params.resilience.active:
+            raise ValueError(
+                "cohort mode does not support resilience bundles; "
+                "run without --cohorts for crash-recovery experiments"
+            )
+        self.report_schedule = report_schedule or ReportSchedule()
+        if self.report_schedule.per_cycle != 1:
+            raise ValueError(
+                "cohort mode requires one report per cycle; sub-cycle "
+                "interim reports need the event-driven simulation"
+            )
+        self.params = params
+        self.scheme_factory = scheme_factory
+        self.disconnect_factory = disconnect_factory
+        self.cohort_size = max(1, cohort_size)
+        self.metrics = MetricsRegistry()
+        #: Total generator resumptions across all clients (the cohort
+        #: analogue of the kernel's events-processed figure, for bench).
+        self.steps = 0
+        self.trace: Optional[ServerTrace] = None
+
+    def run(self) -> SimulationResult:
+        params = self.params
+        master = random.Random(params.sim.seed)
+        # Draw order matches Simulation.__init__: engine RNG first, then
+        # per client (in id order) disconnect / fault / workload RNGs.
+        engine_rng = random.Random(master.getrandbits(64))
+        probe = self.scheme_factory()
+        # Merging one scheme's requirements equals merging N identical
+        # ones: every field combines by idempotent OR / max.
+        requirements = BroadcastRequirements(
+            report_window=self.report_schedule.window
+        ).merge(probe.requirements())
+        trace = self.trace = build_trace(
+            params, requirements, self.metrics, engine_rng
+        )
+        injector: Optional[FaultInjector] = None
+        if params.faults.active:
+            injector = FaultInjector(params.faults, params.sim, self.metrics)
+
+        num_clients = params.sim.num_clients
+        records = trace.records
+        for first in range(0, num_clients, self.cohort_size):
+            ids = range(first, min(first + self.cohort_size, num_clients))
+            members = [
+                self._make_member(client_id, master, injector)
+                for client_id in ids
+            ]
+            for member in members:
+                # Prime: the client parks on cycle_started (not on air yet),
+                # like the Initialize event before the server's first cycle.
+                member.advance()
+            for record in records:
+                start = record.start
+                program = record.program
+                for member in members:
+                    member.deliver(start, program)
+                    # The oracle suite replays `completed` lists only in
+                    # discrete mode; here they would grow without bound.
+                    member.client.completed.clear()
+            for member in members:
+                member.finish(trace.end_time)
+                member.client.completed.clear()
+                self.steps += member.steps
+
+        return SimulationResult(
+            params=params,
+            scheme_label=probe.label,
+            metrics=self.metrics,
+            cycles_completed=trace.cycles_completed,
+            mean_cycle_slots=trace.mean_cycle_slots,
+            clients=[],
+        )
+
+    def _make_member(
+        self,
+        client_id: int,
+        master: random.Random,
+        injector: Optional[FaultInjector],
+    ) -> _Member:
+        params = self.params
+        disconnect: Optional[DisconnectionModel] = None
+        if self.disconnect_factory is not None:
+            disconnect = self.disconnect_factory(
+                random.Random(master.getrandbits(64))
+            )
+        pipeline = None
+        if injector is not None:
+            pipeline = injector.pipeline_for(client_id)
+            storm = injector.disconnections_for(client_id)
+            if storm is not None:
+                disconnect = (
+                    storm
+                    if disconnect is None
+                    else UnionDisconnections([disconnect, storm])
+                )
+        env = CohortEnv()
+        channel = CohortChannel(
+            env, self.metrics, pipeline=pipeline, client_id=client_id
+        )
+        client = BroadcastClient(
+            env=env,
+            channel=channel,
+            scheme=self.scheme_factory(),
+            params=params.client,
+            metrics=self.metrics,
+            rng=random.Random(master.getrandbits(64)),
+            disconnect=disconnect,
+            client_id=client_id,
+            warmup_cycles=params.sim.warmup_cycles,
+        )
+        return _Member(client, channel, env)

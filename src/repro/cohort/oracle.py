@@ -1,0 +1,309 @@
+"""Cohort-vs-discrete differential oracle.
+
+For small populations, run the same configuration twice -- once through
+the event-driven :class:`~repro.runtime.Simulation`, once through
+:class:`~repro.cohort.CohortSimulation` -- and demand that the aggregate
+metrics agree *exactly* under the shared seed:
+
+* every counter (commits, aborts by cause, fault/cache/disconnect
+  bookkeeping) equal as integers;
+* every ratio estimator equal as ``(hits, total)`` integer pairs;
+* every sampler equal as ``(count, exact_sum)``, where the exact sum is
+  the order-independent Shewchuk accumulation -- the two engines fold
+  samples in different orders, so the Welford running mean may differ in
+  the last ulp, but the exact sums must be bit-identical;
+* the headline ``SimulationResult`` aggregates (cycles completed, mean
+  cycle slots, committed/total attempts) equal.
+
+Usage::
+
+    python -m repro.cohort.oracle                  # full default matrix
+    python -m repro.cohort.oracle --clients 1 4 --seeds 7 11 --faults on
+    python -m repro.cohort.oracle --artifacts DIR  # dump failing cells
+
+Exits non-zero if any cell mismatches; a runtime budget caps the matrix
+(remaining cells are reported as skipped, not failed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cohort.engine import CohortSimulation
+from repro.config import ModelParameters
+from repro.experiments.schemes import scheme_factory
+from repro.runtime import Simulation, SimulationResult
+from repro.stats.metrics import MetricsRegistry
+
+#: One scheme per protocol family of the paper (plus the uncached
+#: baseline): invalidation-only with and without caching, caching with
+#: versions, serialization-graph testing, and multiversion broadcast.
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "inval",
+    "inval+cache",
+    "versioned-cache",
+    "sgt+cache",
+    "multiversion+cache",
+)
+DEFAULT_CLIENTS: Tuple[int, ...] = (1, 4, 16)
+DEFAULT_SEEDS: Tuple[int, ...] = (7, 11, 23, 42, 97)
+
+#: Fault mix exercising every model: per-slot and burst loss, control
+#: loss, truncation, delayed reports, and disconnect storms.
+FAULT_KNOBS = dict(
+    slot_loss=0.05,
+    burst_rate=0.02,
+    burst_length=3.0,
+    control_loss=0.03,
+    truncation=0.02,
+    report_delay=0.05,
+    storm_rate=0.02,
+)
+
+
+def oracle_params(
+    clients: int, seed: int, faults: bool, num_cycles: int = 30
+) -> ModelParameters:
+    """Small-but-nontrivial configuration (mirrors the test fixtures):
+    enough update pressure for invalidations, old versions and graph
+    cycles within a fast run."""
+    params = (
+        ModelParameters()
+        .with_server(
+            broadcast_size=100,
+            update_range=50,
+            offset=30,
+            updates_per_cycle=8,
+            transactions_per_cycle=5,
+            items_per_bucket=10,
+            retention=12,
+        )
+        .with_client(
+            read_range=40,
+            ops_per_query=4,
+            think_time=0.5,
+            cache_size=20,
+            max_attempts=6,
+        )
+        .with_sim(
+            num_cycles=num_cycles,
+            warmup_cycles=3,
+            num_clients=clients,
+            seed=seed,
+        )
+    )
+    if faults:
+        params = params.with_faults(**FAULT_KNOBS)
+    return params
+
+
+def registry_delta(
+    discrete: MetricsRegistry, cohort: MetricsRegistry
+) -> List[Dict]:
+    """Every metric on which the two registries disagree (exactly)."""
+    mismatches: List[Dict] = []
+    d_counters = dict(discrete.counters())
+    c_counters = dict(cohort.counters())
+    for name in sorted(set(d_counters) | set(c_counters)):
+        d = d_counters[name].value if name in d_counters else None
+        c = c_counters[name].value if name in c_counters else None
+        if d != c:
+            mismatches.append(
+                {"metric": name, "kind": "counter", "discrete": d, "cohort": c}
+            )
+    d_ratios = dict(discrete.ratios())
+    c_ratios = dict(cohort.ratios())
+    for name in sorted(set(d_ratios) | set(c_ratios)):
+        d = (d_ratios[name].hits, d_ratios[name].total) if name in d_ratios else None
+        c = (c_ratios[name].hits, c_ratios[name].total) if name in c_ratios else None
+        if d != c:
+            mismatches.append(
+                {"metric": name, "kind": "ratio", "discrete": d, "cohort": c}
+            )
+    d_samplers = dict(discrete.samplers())
+    c_samplers = dict(cohort.samplers())
+    for name in sorted(set(d_samplers) | set(c_samplers)):
+        d = (
+            (d_samplers[name].count, d_samplers[name].exact_sum)
+            if name in d_samplers
+            else None
+        )
+        c = (
+            (c_samplers[name].count, c_samplers[name].exact_sum)
+            if name in c_samplers
+            else None
+        )
+        if d != c:
+            mismatches.append(
+                {"metric": name, "kind": "sampler", "discrete": d, "cohort": c}
+            )
+    return mismatches
+
+
+def result_delta(
+    discrete: SimulationResult, cohort: SimulationResult
+) -> List[Dict]:
+    """Headline aggregate disagreements beyond the raw registries."""
+    mismatches: List[Dict] = []
+    pairs = [
+        ("scheme_label", discrete.scheme_label, cohort.scheme_label),
+        ("cycles_completed", discrete.cycles_completed, cohort.cycles_completed),
+        ("mean_cycle_slots", discrete.mean_cycle_slots, cohort.mean_cycle_slots),
+        ("committed_attempts", discrete.committed_attempts, cohort.committed_attempts),
+        ("total_attempts", discrete.total_attempts, cohort.total_attempts),
+    ]
+    for field, d, c in pairs:
+        if d != c:
+            mismatches.append(
+                {"metric": field, "kind": "result", "discrete": d, "cohort": c}
+            )
+    return mismatches
+
+
+def compare_cell(
+    scheme: str,
+    clients: int,
+    seed: int,
+    faults: bool,
+    num_cycles: int = 30,
+    cohort_size: int = 1024,
+) -> Dict:
+    """Run one (scheme, N, seed, faults) cell both ways and diff.
+
+    Returns a report dict; the cell passed iff ``mismatches`` is empty.
+    """
+    params = oracle_params(clients, seed, faults, num_cycles=num_cycles)
+    factory = scheme_factory(scheme)
+    t0 = time.perf_counter()
+    discrete = Simulation(params, scheme_factory=factory).run()
+    t1 = time.perf_counter()
+    cohort = CohortSimulation(
+        params, scheme_factory=factory, cohort_size=cohort_size
+    ).run()
+    t2 = time.perf_counter()
+    mismatches = result_delta(discrete, cohort) + registry_delta(
+        discrete.metrics, cohort.metrics
+    )
+    return {
+        "scheme": scheme,
+        "clients": clients,
+        "seed": seed,
+        "faults": faults,
+        "num_cycles": num_cycles,
+        "cohort_size": cohort_size,
+        "discrete_seconds": t1 - t0,
+        "cohort_seconds": t2 - t1,
+        "total_attempts": discrete.total_attempts,
+        "mismatches": mismatches,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cohort.oracle",
+        description="Differential oracle: cohort aggregates must equal "
+        "N discrete clients exactly under shared seeds.",
+    )
+    parser.add_argument(
+        "--schemes", nargs="+", default=list(DEFAULT_SCHEMES), metavar="S"
+    )
+    parser.add_argument(
+        "--clients", nargs="+", type=int, default=list(DEFAULT_CLIENTS),
+        metavar="N",
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=list(DEFAULT_SEEDS),
+        metavar="SEED",
+    )
+    parser.add_argument(
+        "--faults",
+        choices=["both", "on", "off"],
+        default="both",
+        help="run the matrix with faults injected, clean, or both",
+    )
+    parser.add_argument("--cycles", type=int, default=30)
+    parser.add_argument(
+        "--cohort-size", type=int, default=1024,
+        help="members advanced per cohort chunk",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=600.0,
+        help="runtime budget; remaining cells are skipped, not failed",
+    )
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=None,
+        help="directory for per-failure JSON dumps",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    fault_modes = {"both": (False, True), "on": (True,), "off": (False,)}[
+        args.faults
+    ]
+    cells = [
+        (scheme, clients, seed, faults)
+        for scheme in args.schemes
+        for faults in fault_modes
+        for clients in args.clients
+        for seed in args.seeds
+    ]
+    started = time.perf_counter()
+    failures: List[Dict] = []
+    run = 0
+    skipped = 0
+    for scheme, clients, seed, faults in cells:
+        if time.perf_counter() - started > args.max_seconds:
+            skipped += 1
+            continue
+        report = compare_cell(
+            scheme,
+            clients,
+            seed,
+            faults,
+            num_cycles=args.cycles,
+            cohort_size=args.cohort_size,
+        )
+        run += 1
+        ok = not report["mismatches"]
+        tag = "ok" if ok else "FAIL"
+        print(
+            f"[{tag}] {scheme:<20} N={clients:<3} seed={seed:<4} "
+            f"faults={'on' if faults else 'off':<3} "
+            f"attempts={report['total_attempts']:<5} "
+            f"({report['discrete_seconds']:.2f}s vs "
+            f"{report['cohort_seconds']:.2f}s)"
+        )
+        if not ok:
+            failures.append(report)
+            for mismatch in report["mismatches"][:8]:
+                print(f"       {mismatch}")
+            if args.artifacts is not None:
+                args.artifacts.mkdir(parents=True, exist_ok=True)
+                name = (
+                    f"{scheme.replace('/', '_')}-n{clients}-s{seed}-"
+                    f"{'faults' if faults else 'clean'}.json"
+                )
+                (args.artifacts / name).write_text(
+                    json.dumps(report, indent=2, sort_keys=True)
+                )
+    verdict = "PASS" if not failures else "FAIL"
+    print(
+        f"{verdict}: {run - len(failures)}/{run} cells exact"
+        + (f", {skipped} skipped (runtime budget)" if skipped else "")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

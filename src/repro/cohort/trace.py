@@ -1,0 +1,113 @@
+"""Server pre-pass: compute the whole broadcast schedule once, up front.
+
+Clients never influence the server (the paper's scalability property,
+asserted by the test suite), so the server's entire output -- one
+:class:`~repro.broadcast.program.BroadcastProgram` per cycle plus its
+start instant -- is a pure function of the parameters and the seed.  The
+cohort engine exploits that: it runs the server loop *once*, records the
+per-cycle programs, and then replays the trace to any number of client
+cohorts.
+
+The loop body is the same sequence as ``Simulation._server_process``
+(build with the previous cycle's outcome, observe the broadcast sizing
+metrics, air the cycle, run the cycle's update transactions, prune the
+server graph), driven by a plain accumulator instead of the event
+kernel; cycle starts are exact integers either way, so the recorded
+instants are bit-identical to the discrete run's.
+
+Programs are safe to retain: the incremental builder copy-on-writes its
+records and buckets, and every record type is frozen.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.broadcast.program import BroadcastProgram
+from repro.config import ModelParameters
+from repro.core.control import BroadcastRequirements
+from repro.server.broadcast import ProgramBuilder
+from repro.server.database import Database
+from repro.server.transactions import TransactionEngine
+from repro.server.versions import VersionStore
+from repro.stats import names as metric_names
+from repro.stats.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """One broadcast cycle as aired: its program and start instant."""
+
+    cycle: int
+    start: float
+    program: BroadcastProgram
+
+
+@dataclass
+class ServerTrace:
+    """The server's complete, replayable output for one run."""
+
+    records: List[CycleRecord]
+    end_time: float
+    cycles_completed: int
+    mean_cycle_slots: float
+
+
+def build_trace(
+    params: ModelParameters,
+    requirements: BroadcastRequirements,
+    metrics: MetricsRegistry,
+    rng: random.Random,
+) -> ServerTrace:
+    """Run the server loop for every cycle and record the programs.
+
+    ``rng`` must be the engine RNG drawn off the master seed exactly as
+    ``Simulation.__init__`` draws it (the first ``getrandbits(64)``), so
+    the update workload matches the discrete run's bit for bit.
+    """
+    database = Database(params.server.broadcast_size)
+    version_store: Optional[VersionStore] = None
+    if requirements.needs_old_versions:
+        version_store = VersionStore(
+            database, retention=params.server.retention
+        )
+    engine = TransactionEngine(
+        params.server, database, version_store=version_store, rng=rng
+    )
+    builder = ProgramBuilder(
+        params.server,
+        database,
+        version_store=version_store,
+        requirements=requirements,
+    )
+    records: List[CycleRecord] = []
+    outcome = None
+    start = 0
+    total_slots = 0
+    retention = max(params.server.retention, 2)
+    num_cycles = params.sim.num_cycles
+    for cycle in range(1, num_cycles + 1):
+        program = builder.build(cycle, outcome)
+        metrics.observe(metric_names.BROADCAST_SLOTS, program.total_slots)
+        metrics.observe(
+            metric_names.BROADCAST_CONTROL_SLOTS, program.control_slots
+        )
+        metrics.observe(
+            metric_names.BROADCAST_OVERFLOW_SLOTS,
+            len(program.overflow_buckets),
+        )
+        records.append(CycleRecord(cycle=cycle, start=start, program=program))
+        # Transactions logically commit *during* the cycle that just
+        # aired; their values go out with the next cycle's snapshot.
+        outcome = engine.run_cycle(cycle)
+        engine.prune_graph_before(cycle - 4 * retention)
+        start += program.total_slots
+        total_slots += program.total_slots
+    return ServerTrace(
+        records=records,
+        end_time=start,
+        cycles_completed=num_cycles,
+        mean_cycle_slots=total_slots / num_cycles if num_cycles else 0.0,
+    )

@@ -90,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
             f"(known: {', '.join(preset_names())})"
         ),
     )
+    parser.add_argument(
+        "--cohorts",
+        action="store_true",
+        help=(
+            "scalability experiment only: sweep the cohort engine to "
+            "10^5 clients instead of the discrete kernel"
+        ),
+    )
+    parser.add_argument(
+        "--cohort-out",
+        default=None,
+        metavar="FILE",
+        help="with --cohorts: also write the sweep as a bench JSON",
+    )
     return parser
 
 
@@ -111,6 +125,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if selected != ["faults"]:
             print("--preset only applies to the faults experiment")
             return 2
+    if args.cohorts and selected != ["scalability"]:
+        print("--cohorts only applies to the scalability experiment")
+        return 2
     executor = make_executor(args.jobs)
     cache = CellCache(args.cache) if args.cache else None
 
@@ -130,6 +147,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cache=cache,
                 verbose=args.progress,
                 preset=args.preset,
+            )
+        elif name == "scalability" and args.cohorts:
+            module.main(
+                profile,
+                verbose=args.progress,
+                cohorts=True,
+                cohort_out=args.cohort_out,
             )
         else:
             module.main(

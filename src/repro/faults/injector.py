@@ -59,11 +59,20 @@ class FaultInjector:
                 faults.storm_length,
             )
 
-    def wrap(self, channel: BroadcastChannel, client_id: int) -> FaultyChannel:
-        """A fresh lossy view of ``channel`` for one client."""
-        pipeline = build_pipeline(
+    def pipeline_for(self, client_id: int):
+        """This client's seeded fault-model pipeline.
+
+        Consumes exactly one draw from the injector RNG, like
+        :meth:`wrap`, so cohort-mode clients see the same fault streams
+        as discrete ones.
+        """
+        return build_pipeline(
             self.faults, random.Random(self._rng.getrandbits(64))
         )
+
+    def wrap(self, channel: BroadcastChannel, client_id: int) -> FaultyChannel:
+        """A fresh lossy view of ``channel`` for one client."""
+        pipeline = self.pipeline_for(client_id)
         return FaultyChannel(
             channel,
             pipeline,

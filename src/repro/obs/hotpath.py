@@ -220,6 +220,47 @@ def bench_clients(repeats: int, cycles: int = 60) -> Dict[str, Dict[str, float]]
     return out
 
 
+# -- cohort: the population engine -----------------------------------------
+
+
+def _cohort_once(num_clients: int, cycles: int) -> Dict[str, float]:
+    """One cohort-engine run at ``num_clients``: the same workload as the
+    ``clients`` suite, advanced client-major instead of through the
+    kernel heap.  ``steps`` (generator resumptions) is the cohort
+    analogue of the kernel's events-processed figure."""
+    from repro.cohort import CohortSimulation
+    from repro.experiments.schemes import scheme_factory
+
+    sim = CohortSimulation(
+        _clients_params(num_clients, cycles),
+        scheme_factory=scheme_factory("inval"),
+    )
+    gc.collect()
+    start = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "clients": float(num_clients),
+        "cycles": float(result.cycles_completed),
+        "steps": float(sim.steps),
+        "clients_per_sec": num_clients / elapsed if elapsed else 0.0,
+        "steps_per_sec": sim.steps / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_cohort(
+    repeats: int, num_clients: int = 1000, cycles: int = 60
+) -> Dict[str, float]:
+    best: Optional[Dict[str, float]] = None
+    for _ in range(max(1, repeats)):
+        sample = _cohort_once(num_clients, cycles)
+        if best is None or sample["seconds"] < best["seconds"]:
+            best = sample
+    assert best is not None
+    return best
+
+
 # -- profile: where the time actually goes ---------------------------------
 
 
@@ -287,6 +328,13 @@ def run_suite(
             f"  {count:>3} clients: {sample['cycles_per_sec']:,.1f} cycles/s  "
             f"{sample['events_per_sec']:,.0f} events/s"
         )
+    say("cohort: population engine ...")
+    cohort = bench_cohort(repeats, cycles=client_cycles)
+    say(
+        f"  {cohort['clients']:,.0f} clients: "
+        f"{cohort['clients_per_sec']:,.0f} clients/s  "
+        f"{cohort['steps_per_sec']:,.0f} steps/s"
+    )
     say("profile: cProfile top functions ...")
     profile = bench_profile(top=profile_top, cycles=client_cycles)
 
@@ -301,6 +349,7 @@ def run_suite(
             "dispatch": dispatch,
             "programs": programs,
             "clients": clients,
+            "cohort": cohort,
             "profile": profile,
         },
     }
@@ -335,6 +384,8 @@ def attach_before(payload: Dict[str, object], before: Dict[str, object]) -> None
             ("suites", "clients", str(count), "events_per_sec"),
         )
         for count in CLIENT_COUNTS
+    ] + [
+        ("cohort_clients_per_sec", ("suites", "cohort", "clients_per_sec")),
     ]
     for label, path in comparisons:
         now, then = _rate(payload, *path), _rate(before, *path)

@@ -110,6 +110,23 @@ class MetricsRegistry:
     def get_ratio(self, name: str) -> Optional[RatioEstimator]:
         return self._ratios.get(name)
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s metrics into ``self`` (in place) and return
+        ``self``.
+
+        Counters and ratios add exactly; samplers absorb via the parallel
+        Welford update plus exact-sum concatenation.  Metrics that exist
+        in ``other`` but not here are created even when zero, so a merged
+        registry's :meth:`snapshot` keys match a sequentially built one.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).increment(counter.value)
+        for name, sampler in other._samplers.items():
+            self.sampler(name).absorb(sampler)
+        for name, ratio in other._ratios.items():
+            self.ratio(name).record_many(ratio.hits, ratio.total)
+        return self
+
     def fault_summary(self) -> Dict[str, int]:
         """All fault-injection counters (zero when no fault ever fired)."""
         return {

@@ -3,13 +3,39 @@
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
+
+
+def _fold_partial(partials: List[float], x: float) -> None:
+    """Shewchuk's error-free transformation: fold ``x`` into ``partials``
+    so that ``sum(partials)`` stays the *exact* (infinite-precision) sum.
+
+    Each pairwise ``hi = x + y`` keeps its rounding error ``lo`` as a
+    separate partial, so the represented value never loses a bit.  The
+    partials list stays short in practice (a handful of entries)."""
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
 
 
 class OnlineStats:
     """Single-pass mean / variance / extrema accumulator.
 
     Uses Welford's algorithm so long simulations do not lose precision.
+    Alongside the running mean, an exact (order-independent) sum of all
+    observations is maintained as Shewchuk partials: two accumulators fed
+    the same multiset of values in *any* order report bit-identical
+    :attr:`exact_sum`, which is what lets the cohort engine's client-major
+    aggregation be compared exactly against the event-interleaved
+    discrete simulation (see :mod:`repro.cohort`).
 
     >>> s = OnlineStats()
     >>> for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
@@ -18,6 +44,8 @@ class OnlineStats:
     5.0
     >>> round(s.population_variance, 10)
     4.0
+    >>> s.exact_sum
+    40.0
     """
 
     def __init__(self) -> None:
@@ -26,6 +54,7 @@ class OnlineStats:
         self._m2 = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._partials: List[float] = []
 
     def add(self, value: float) -> None:
         """Fold one observation into the accumulator."""
@@ -35,6 +64,7 @@ class OnlineStats:
         self._m2 += delta * (value - self._mean)
         self._min = value if self._min is None else min(self._min, value)
         self._max = value if self._max is None else max(self._max, value)
+        _fold_partial(self._partials, value)
 
     def merge(self, other: "OnlineStats") -> "OnlineStats":
         """Return a new accumulator combining ``self`` and ``other``.
@@ -56,7 +86,37 @@ class OnlineStats:
         maxs = [m for m in (self._max, other._max) if m is not None]
         merged._min = min(mins) if mins else None
         merged._max = max(maxs) if maxs else None
+        merged._partials = list(self._partials)
+        for x in other._partials:
+            _fold_partial(merged._partials, x)
         return merged
+
+    def absorb(self, other: "OnlineStats") -> "OnlineStats":
+        """In-place :meth:`merge`: fold ``other`` into ``self`` and return
+        ``self``.  Used by :meth:`~repro.stats.metrics.MetricsRegistry.merge`
+        to combine per-cohort partial registries without reallocating."""
+        if other._n == 0:
+            return self
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * other._n / n
+        self._m2 = (
+            self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        )
+        self._n = n
+        mins = [m for m in (self._min, other._min) if m is not None]
+        maxs = [m for m in (self._max, other._max) if m is not None]
+        self._min = min(mins) if mins else None
+        self._max = max(maxs) if maxs else None
+        for x in other._partials:
+            _fold_partial(self._partials, x)
+        return self
+
+    @property
+    def exact_sum(self) -> float:
+        """Correctly rounded sum of every observation, independent of the
+        order they were added or merged in (0.0 when empty)."""
+        return math.fsum(self._partials)
 
     @property
     def count(self) -> int:

@@ -16,7 +16,8 @@ from __future__ import annotations
 import bisect
 import itertools
 import random
-from typing import Iterator, List, Optional, Sequence
+from functools import lru_cache
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 
 def zipf_pmf(n: int, theta: float) -> List[float]:
@@ -37,6 +38,20 @@ def zipf_pmf(n: int, theta: float) -> List[float]:
     weights = [(1.0 / rank) ** theta for rank in range(1, n + 1)]
     total = sum(weights)
     return [w / total for w in weights]
+
+
+@lru_cache(maxsize=128)
+def zipf_cdf(n: int, theta: float) -> Tuple[float, ...]:
+    """Cumulative distribution of Zipf(``theta``) over ranks ``1..n``.
+
+    Cached module-wide so the cohort engine can build 10^5-10^6 client
+    generators over the same ``(n, theta)`` without recomputing (or
+    re-storing) the table per client.  The final bucket is clamped to
+    exactly 1.0 to guard against floating-point drift.
+    """
+    cdf = list(itertools.accumulate(zipf_pmf(n, theta)))
+    cdf[-1] = 1.0
+    return tuple(cdf)
 
 
 class ZipfGenerator:
@@ -70,10 +85,7 @@ class ZipfGenerator:
         self.theta = theta
         self.first = first
         self._rng = rng if rng is not None else random.Random()
-        pmf = zipf_pmf(n, theta)
-        self._cdf = list(itertools.accumulate(pmf))
-        # Guard against floating-point drift in the final bucket.
-        self._cdf[-1] = 1.0
+        self._cdf = zipf_cdf(n, theta)
 
     def probability(self, item: int) -> float:
         """Probability of sampling ``item`` (0.0 outside the range)."""
@@ -92,6 +104,24 @@ class ZipfGenerator:
     def sample_many(self, count: int) -> List[int]:
         """Draw ``count`` item numbers (with repetition)."""
         return [self.sample() for _ in range(count)]
+
+    def sample_batch(self, count: int) -> List[int]:
+        """Batched draw of ``count`` items off the shared CDF table.
+
+        Consumes exactly one uniform per draw in draw order, so under a
+        shared seed the result is bit-identical to ``count`` sequential
+        :meth:`sample` calls -- the property the cohort engine relies on
+        and the Hypothesis suite pins down.
+        """
+        cdf = self._cdf
+        first_minus_1 = self.first - 1
+        n = self.n
+        rand = self._rng.random
+        lookup = bisect.bisect_left
+        return [
+            first_minus_1 + min(lookup(cdf, rand()) + 1, n)
+            for _ in range(count)
+        ]
 
     def sample_distinct(self, count: int) -> List[int]:
         """Draw ``count`` *distinct* item numbers, preserving draw order.
@@ -181,6 +211,9 @@ class OffsetZipfGenerator:
 
     def sample_many(self, count: int) -> List[int]:
         return [self.sample() for _ in range(count)]
+
+    def sample_batch(self, count: int) -> List[int]:
+        return [self._shift(item) for item in self._base.sample_batch(count)]
 
     def sample_distinct(self, count: int) -> List[int]:
         return [self._shift(item) for item in self._base.sample_distinct(count)]

@@ -1,0 +1,162 @@
+"""Edge cases for the online accumulators: empty streams, singletons,
+merging disjoint halves, and the order-independent exact sum the
+cohort-vs-discrete oracle compares on."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.metrics import MetricsRegistry
+from repro.stats.online import OnlineStats, RatioEstimator
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEmptyStream:
+    def test_empty_exact_sum_is_zero(self):
+        assert OnlineStats().exact_sum == 0.0
+
+    def test_merge_of_empties_is_empty(self):
+        merged = OnlineStats().merge(OnlineStats())
+        assert merged.count == 0
+        assert merged.exact_sum == 0.0
+        with pytest.raises(ValueError):
+            merged.mean
+
+    def test_absorb_empty_is_identity(self):
+        s = OnlineStats()
+        for x in (1.0, 2.0, 4.0):
+            s.add(x)
+        s.absorb(OnlineStats())
+        assert s.count == 3
+        assert s.mean == pytest.approx(7.0 / 3.0)
+        assert s.exact_sum == 7.0
+
+    def test_empty_absorbs_full(self):
+        s = OnlineStats()
+        other = OnlineStats()
+        for x in (1.0, 2.0, 4.0):
+            other.add(x)
+        s.absorb(other)
+        assert s.count == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.exact_sum == 7.0
+
+
+class TestSingleSample:
+    def test_single_sample_statistics(self):
+        s = OnlineStats()
+        s.add(3.5)
+        assert s.count == 1
+        assert s.mean == 3.5
+        assert s.minimum == s.maximum == 3.5
+        assert s.population_variance == 0.0
+        assert s.sample_variance == 0.0
+        assert s.exact_sum == 3.5
+
+    def test_confidence_interval_collapses(self):
+        s = OnlineStats()
+        s.add(2.0)
+        low, high = s.confidence_interval()
+        assert low == high == 2.0
+
+
+class TestDisjointMerge:
+    @given(
+        left=st.lists(finite_floats, max_size=40),
+        right=st.lists(finite_floats, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_absorb_equals_sequential(self, left, right):
+        a = OnlineStats()
+        for x in left:
+            a.add(x)
+        b = OnlineStats()
+        for x in right:
+            b.add(x)
+        merged = a.merge(b)
+        absorbed = OnlineStats()
+        for x in left:
+            absorbed.add(x)
+        absorbed.absorb(b)
+        combined = OnlineStats()
+        for x in left + right:
+            combined.add(x)
+        for acc in (merged, absorbed):
+            assert acc.count == combined.count
+            assert acc.exact_sum == combined.exact_sum
+            if combined.count:
+                assert acc.mean == pytest.approx(combined.mean)
+                assert acc.minimum == combined.minimum
+                assert acc.maximum == combined.maximum
+
+    def test_merge_leaves_operands_untouched(self):
+        a, b = OnlineStats(), OnlineStats()
+        a.add(1.0)
+        b.add(2.0)
+        a.merge(b)
+        assert (a.count, b.count) == (1, 1)
+
+
+class TestExactSum:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_sum_is_order_independent(self, values):
+        """The property the differential oracle relies on: folding the
+        same multiset in any order yields the bit-identical exact sum,
+        even where the Welford running mean differs in the last ulp."""
+        forward = OnlineStats()
+        for x in values:
+            forward.add(x)
+        shuffled = list(values)
+        random.Random(99).shuffle(shuffled)
+        backward = OnlineStats()
+        for x in shuffled:
+            backward.add(x)
+        assert forward.exact_sum == backward.exact_sum
+        assert forward.exact_sum == math.fsum(values)
+
+
+class TestRatioEdges:
+    def test_empty_ratio_raises(self):
+        r = RatioEstimator()
+        assert r.total == 0
+        with pytest.raises(ValueError):
+            r.ratio
+
+    def test_record_many_rejects_hits_over_total(self):
+        with pytest.raises(ValueError):
+            RatioEstimator().record_many(3, 2)
+
+
+class TestRegistryMerge:
+    def test_merge_unions_all_metric_kinds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only.a").increment(2)
+        b.counter("only.b").increment(5)
+        a.counter("both").increment(1)
+        b.counter("both").increment(10)
+        a.sampler("lat").add(1.0)
+        b.sampler("lat").add(3.0)
+        b.ratio("hit").record_many(2, 4)
+        a.merge(b)
+        assert a.counter("only.a").value == 2
+        assert a.counter("only.b").value == 5
+        assert a.counter("both").value == 11
+        assert a.sampler("lat").count == 2
+        assert a.sampler("lat").exact_sum == 4.0
+        assert (a.ratio("hit").hits, a.ratio("hit").total) == (2, 4)
+
+    def test_merge_creates_zero_counters_for_snapshot_parity(self):
+        """A metric present only in the other registry must appear in the
+        merged snapshot even at zero, so snapshots stay comparable."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("zeroed").increment(0)
+        a.merge(b)
+        assert a.counter("zeroed").value == 0

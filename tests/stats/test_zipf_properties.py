@@ -1,0 +1,105 @@
+"""Property tests for the batch-sampling path the cohort engine uses.
+
+The cohort engine's exact-equality argument needs ``sample_batch`` to be
+*bit-identical* to sequential draws under a shared RNG state, and the
+shared CDF cache to hand every generator the same table the sequential
+path used.
+"""
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.zipf import (
+    OffsetZipfGenerator,
+    ZipfGenerator,
+    zipf_cdf,
+    zipf_pmf,
+)
+
+thetas = st.floats(min_value=0.0, max_value=2.5, allow_nan=False)
+
+
+class TestBatchEqualsSequential:
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        theta=thetas,
+        count=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_zipf_batch_identical_to_sequential(self, n, theta, count, seed):
+        sequential = ZipfGenerator(n, theta, rng=random.Random(seed))
+        batched = ZipfGenerator(n, theta, rng=random.Random(seed))
+        assert [sequential.sample() for _ in range(count)] == (
+            batched.sample_batch(count)
+        )
+
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        theta=thetas,
+        offset=st.integers(min_value=0, max_value=500),
+        universe=st.integers(min_value=300, max_value=1000),
+        count=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_offset_batch_identical_to_sequential(
+        self, n, theta, offset, universe, count, seed
+    ):
+        sequential = OffsetZipfGenerator(
+            n, theta, offset=offset, universe=universe, rng=random.Random(seed)
+        )
+        batched = OffsetZipfGenerator(
+            n, theta, offset=offset, universe=universe, rng=random.Random(seed)
+        )
+        assert [sequential.sample() for _ in range(count)] == (
+            batched.sample_batch(count)
+        )
+
+
+class TestRankMonotonicity:
+    @given(n=st.integers(min_value=2, max_value=400), theta=thetas)
+    @settings(max_examples=80, deadline=None)
+    def test_rank_probabilities_monotone(self, n, theta):
+        """The probability mass assigned to rank k (the CDF increments)
+        never increases with k."""
+        cdf = zipf_cdf(n, theta)
+        increments = [cdf[0]] + [
+            b - a for a, b in zip(cdf, cdf[1:])
+        ]
+        # Allow for representation error when differencing the prefix
+        # sums: each increment equals the pmf term up to accumulation ulps.
+        pmf = zipf_pmf(n, theta)
+        for inc, p in zip(increments, pmf):
+            assert abs(inc - p) < 1e-12
+        for a, b in zip(increments, increments[1:]):
+            assert b <= a + 1e-12
+
+    def test_empirical_frequencies_monotone_in_rank(self):
+        """With real skew and plenty of draws, hot ranks are observed at
+        least as often as cold ones (coarse-grained to dodge noise)."""
+        gen = ZipfGenerator(50, 0.95, rng=random.Random(1234))
+        counts = Counter(gen.sample_batch(40_000))
+        buckets = [
+            sum(counts.get(item, 0) for item in range(lo + 1, lo + 11))
+            for lo in range(0, 50, 10)
+        ]
+        assert all(a >= b for a, b in zip(buckets, buckets[1:]))
+        assert counts.most_common(1)[0][0] == 1
+
+
+class TestSharedCdfCache:
+    def test_generators_share_one_table(self):
+        a = ZipfGenerator(123, 0.77)
+        b = ZipfGenerator(123, 0.77)
+        assert a._cdf is b._cdf
+
+    def test_cdf_is_immutable_and_complete(self):
+        cdf = zipf_cdf(64, 0.95)
+        assert isinstance(cdf, tuple)
+        assert len(cdf) == 64
+        assert cdf[-1] == 1.0
+        assert all(x <= y for x, y in zip(cdf, cdf[1:]))
