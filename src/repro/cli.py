@@ -48,6 +48,8 @@ from repro.obs.manifest import git_revision, write_manifest
 from repro.obs.trace import JsonlSink, TraceLevel, Tracer
 from repro.runtime import Simulation
 from repro.server.sizing import SizeModel
+from repro.shard.partition import PARTITIONERS
+from repro.shard.scheme import CONSISTENCY_MODES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,6 +116,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         metavar="N",
         help="clients advanced per cohort chunk (default: 4096)",
+    )
+    shard = run.add_argument_group(
+        "sharding", "partition items over K broadcast channels (see repro.shard)"
+    )
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "run the sharded multi-channel server with K shards "
+            "(K=1 is bit-identical to the single-channel server)"
+        ),
+    )
+    shard.add_argument(
+        "--partitioner",
+        default="hash",
+        choices=sorted(PARTITIONERS),
+        help="item-to-shard mapping (default: hash)",
+    )
+    shard.add_argument(
+        "--shard-consistency",
+        default="local",
+        choices=list(CONSISTENCY_MODES),
+        help="cross-shard read consistency mode (default: local)",
+    )
+    shard.add_argument(
+        "--cross-shard-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "steer this fraction of queries to span shards "
+            "(default: the workload's natural mix)"
+        ),
     )
     fault = run.add_argument_group(
         "fault injection", "degrade the air interface (see repro.faults)"
@@ -333,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="allowed events/sec drop vs --against (default: 0.2)",
     )
+    hot.add_argument(
+        "--max-shard-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="allowed K=1 sharded slowdown vs single-channel (target: 0.02)",
+    )
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's figures and tables"
@@ -380,6 +424,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="with --cohorts: also write the sweep as a bench JSON",
+    )
+    experiments.add_argument(
+        "--shard-out",
+        default="results/BENCH_shard.json",
+        metavar="FILE",
+        help=(
+            "sharding experiment: where to write the sweep JSON "
+            "(default: results/BENCH_shard.json; empty string disables)"
+        ),
     )
     experiments.add_argument(
         "--check",
@@ -499,9 +552,109 @@ def _run_cohorts(args, params, schedule) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _make_tracer(args, params) -> Optional[Tracer]:
+    """``--trace FILE``: tracer plus manifest, shared by every run path."""
     from repro import __version__
 
+    if not args.trace:
+        return None
+    manifest_path = write_manifest(
+        f"{args.trace}.manifest.json",
+        params=params,
+        scheme=args.scheme,
+        extra={"trace": args.trace, "trace_level": args.trace_level},
+    )
+    tracer = Tracer(
+        level=TraceLevel.parse(args.trace_level),
+        sinks=[JsonlSink(args.trace)],
+    )
+    tracer.header(
+        version=__version__,
+        git_rev=git_revision(),
+        scheme=args.scheme,
+        seed=args.seed,
+        manifest=str(manifest_path),
+    )
+    return tracer
+
+
+def _run_sharded(args, params, schedule) -> int:
+    """`repro run --shards K`: sharded multi-channel server run."""
+    from repro.shard import ShardedSimulation, sharded_violations
+    from repro.stats import names as metric_names
+
+    unsupported = [
+        flag
+        for flag, on in (
+            ("--interleaved-server", args.interleaved_server),
+            ("resilience knobs", params.resilience.active),
+        )
+        if on
+    ]
+    if unsupported:
+        print(
+            f"--shards is incompatible with {', '.join(unsupported)}: "
+            "sharded channels drive plain listeners (run the "
+            "single-channel server for 2PL interleaving and recovery)"
+        )
+        return 2
+    tracer = _make_tracer(args, params)
+    try:
+        sim = ShardedSimulation(
+            params,
+            scheme_factory(args.scheme),
+            num_shards=args.shards,
+            partitioner=args.partitioner,
+            consistency=args.shard_consistency,
+            cross_shard_fraction=args.cross_shard_fraction,
+            report_schedule=schedule,
+            keep_history=args.verify,
+            tracer=tracer,
+        )
+    except ValueError as error:
+        print(f"--shards: {error}")
+        return 2
+    result = sim.run()
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace}")
+
+    rows = _result_rows(result)
+    rows.append(["shards", str(args.shards)])
+    rows.append(["partitioner", args.partitioner])
+    rows.append(["consistency", args.shard_consistency])
+    cross = result.metrics.get_counter(metric_names.SHARD_CROSS_COMMITS)
+    rows.append(["cross-shard commits", str(cross.value if cross else 0)])
+    if args.shard_consistency == "epoch":
+        epoch = result.metrics.get_counter(metric_names.SHARD_EPOCH_ABORTS)
+        rows.append(["epoch aborts", str(epoch.value if epoch else 0)])
+    for shard in sim.shards:
+        sampler = result.metrics.get_sampler(
+            metric_names.shard_metric(shard.index, metric_names.BROADCAST_SLOTS)
+        )
+        if sampler is not None and sampler.count:
+            rows.append(
+                [
+                    f"shard {shard.index} slots",
+                    f"{sampler.mean:.1f} mean x {len(shard.items)} items",
+                ]
+            )
+    if params.faults.active:
+        for name, value in sorted(result.metrics.fault_summary().items()):
+            rows.append([name, str(value)])
+    print(render_table(["measure", "value"], rows, title="simulation result"))
+
+    if args.verify:
+        bad = sharded_violations(sim)
+        print(f"correctness oracle: {len(bad)} violation(s)")
+        if bad:
+            for txn, why in bad[:5]:
+                print(f"  {txn.txn_id} [{why}]: {dict(txn.reads)}")
+            return 1
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
     params = _params_from(args)
     schedule = ReportSchedule(
         per_cycle=args.reports_per_cycle, window=args.report_window
@@ -513,36 +666,26 @@ def _command_run(args: argparse.Namespace) -> int:
                 ("--trace", bool(args.trace)),
                 ("--verify", args.verify),
                 ("--interleaved-server", args.interleaved_server),
+                ("--shards", args.shards is not None),
+                (
+                    "--cross-shard-fraction",
+                    args.cross_shard_fraction is not None,
+                ),
             )
             if on
         ]
         if unsupported:
             print(
                 f"--cohorts is incompatible with {', '.join(unsupported)}: "
-                "the cohort engine aggregates metrics only (use the "
-                "discrete engine for per-event tooling)"
+                "the cohort engine aggregates a single-channel population "
+                "(use the discrete engine for per-event tooling and the "
+                "sharded server)"
             )
             return 2
         return _run_cohorts(args, params, schedule)
-    tracer = None
-    if args.trace:
-        manifest_path = write_manifest(
-            f"{args.trace}.manifest.json",
-            params=params,
-            scheme=args.scheme,
-            extra={"trace": args.trace, "trace_level": args.trace_level},
-        )
-        tracer = Tracer(
-            level=TraceLevel.parse(args.trace_level),
-            sinks=[JsonlSink(args.trace)],
-        )
-        tracer.header(
-            version=__version__,
-            git_rev=git_revision(),
-            scheme=args.scheme,
-            seed=args.seed,
-            manifest=str(manifest_path),
-        )
+    if args.shards is not None:
+        return _run_sharded(args, params, schedule)
+    tracer = _make_tracer(args, params)
     sim = Simulation(
         params,
         scheme_factory=scheme_factory(args.scheme),
@@ -654,7 +797,12 @@ def _command_trace(args: argparse.Namespace) -> int:
             ]
             for seg in ("control", "index", "data", "overflow")
         ]
-        rows.append(["total", str(int(totals["total"])), "100.0%"])
+        aired = int(totals["aired"])
+        rows.append(["aired", str(aired), "100.0%"])
+        if aired != int(totals["total"]):
+            rows.append(
+                ["superframe total", str(int(totals["total"])), "--"]
+            )
         print(
             render_table(
                 ["segment", "slots", "share"],
@@ -662,6 +810,39 @@ def _command_trace(args: argparse.Namespace) -> int:
                 title=f"airtime over {int(totals['cycles'])} cycles",
             )
         )
+        per_shard = analyzer.shard_airtime()
+        if per_shard:
+            aired = sum(row["total"] for row in per_shard.values())
+            rows = [
+                [
+                    str(shard),
+                    str(row["control"]),
+                    str(row["index"]),
+                    str(row["data"]),
+                    str(row["overflow"]),
+                    str(row["total"]),
+                    f"{row['total'] / aired:.1%}" if aired else "0.0%",
+                ]
+                for shard, row in sorted(per_shard.items())
+            ]
+            print(
+                render_table(
+                    [
+                        "shard",
+                        "control",
+                        "index",
+                        "data",
+                        "overflow",
+                        "slots",
+                        "share",
+                    ],
+                    rows,
+                    title=(
+                        f"per-shard airtime ({len(per_shard)} channels; "
+                        "superframe = max per cycle, not sum)"
+                    ),
+                )
+            )
         return 0
 
     raise AssertionError(f"unhandled trace command {args.trace_command!r}")
@@ -693,6 +874,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         argv.append("--cohorts")
     if args.cohort_out:
         argv += ["--cohort-out", args.cohort_out]
+    argv += ["--shard-out", args.shard_out]
     return experiments_main(argv)
 
 
@@ -710,6 +892,8 @@ def _command_bench(args: argparse.Namespace) -> int:
         if args.against:
             argv += ["--against", args.against]
         argv += ["--max-regression", str(args.max_regression)]
+        if args.max_shard_overhead is not None:
+            argv += ["--max-shard-overhead", str(args.max_shard_overhead)]
         return hotpath.main(argv)
 
     from repro.obs import bench

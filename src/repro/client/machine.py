@@ -625,8 +625,8 @@ class BroadcastClient:
                 # A disconnected client receives nothing: block until the
                 # first cycle start it actually hears (its cache is also
                 # unsafe until the resynchronization there has run).
-                while not self.listening:
-                    yield self.channel.cycle_started()
+                if not self.listening:
+                    yield from self._await_readable(item)
                 self._raise_if_doomed(txn)
                 result = yield from self.scheme.read(txn, item)
                 self._raise_if_doomed(txn)
@@ -656,6 +656,17 @@ class BroadcastClient:
             self.scheme.end(txn)
             self._current_txn = None
         return txn
+
+    def _await_readable(self, item: int) -> Generator:
+        """Block until the channel serving ``item`` is heard again.
+
+        The single-channel client listens to exactly one channel, so this
+        waits for its next heard cycle start.  The multi-tuner client
+        (:class:`repro.shard.ShardedClient`) overrides it to wait only on
+        the shard that carries ``item``.
+        """
+        while not self.listening:
+            yield self.channel.cycle_started()
 
     def _raise_if_doomed(self, txn: ReadOnlyTransaction) -> None:
         """An invalidation report may have aborted the transaction while

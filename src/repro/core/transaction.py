@@ -35,6 +35,9 @@ class AbortReason(enum.Enum):
     STALE_CACHE = "stale_cache"
     CYCLE_DETECTED = "cycle_detected"
     DISCONNECTED = "disconnected"
+    #: A multi-shard query's touched shards diverged (sharded mode's
+    #: epoch-aligned consistency discipline, see :mod:`repro.shard`).
+    EPOCH_MISMATCH = "epoch_mismatch"
 
 
 @dataclass

@@ -30,6 +30,7 @@ from repro.experiments import (
     resilience,
     retention,
     scalability,
+    sharding,
     table1,
 )
 from repro.experiments.parallel import CellCache, make_executor
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "retention": retention,
     "faults": faults,
     "resilience": resilience,
+    "sharding": sharding,
 }
 
 
@@ -104,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="with --cohorts: also write the sweep as a bench JSON",
     )
+    parser.add_argument(
+        "--shard-out",
+        default="results/BENCH_shard.json",
+        metavar="FILE",
+        help=(
+            "sharding experiment: where to write the sweep JSON "
+            "(default: results/BENCH_shard.json; empty string disables)"
+        ),
+    )
     return parser
 
 
@@ -154,6 +165,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 verbose=args.progress,
                 cohorts=True,
                 cohort_out=args.cohort_out,
+            )
+        elif name == "sharding":
+            module.main(
+                profile, verbose=args.progress, shard_out=args.shard_out
             )
         else:
             module.main(

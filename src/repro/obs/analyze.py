@@ -27,6 +27,7 @@ from repro.obs.trace import (
     EV_QUERY_ACCEPT,
     EV_QUERY_BEGIN,
     EV_QUERY_READ,
+    EV_SHARD_CYCLE_START,
     RingBufferSink,
     read_jsonl,
 )
@@ -169,8 +170,48 @@ class TraceAnalyzer:
             for key in totals:
                 totals[key] += row[key]
         out: Dict[str, float] = dict(totals)
-        grand = totals["total"]
+        # Fractions are shares of *transmitted* slots.  Single-channel
+        # traces have aired == total; sharded traces do not (``slots``
+        # on cycle.start is the superframe -- the max shard program --
+        # while the segment keys sum over every channel).
+        aired = sum(
+            totals[key] for key in ("control", "index", "data", "overflow")
+        )
+        out["aired"] = aired
+        grand = aired or totals["total"]
         for key in ("control", "index", "data", "overflow"):
             out[f"{key}_fraction"] = totals[key] / grand if grand else 0.0
         out["cycles"] = len(per_cycle)
         return out
+
+    def shard_airtime(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard segment totals from ``shard.cycle.start`` events.
+
+        Empty for single-channel traces -- those events exist only when
+        the sharded server (:mod:`repro.shard`) runs with K > 1.  Unlike
+        :meth:`airtime`, the ``total`` here is the *shard's own* program
+        length; the superframe the clients experience is the max, not
+        the sum, of these per cycle (``cycle.start`` carries it).
+        """
+        per_shard: Dict[int, Dict[str, int]] = {}
+        for event in self.events:
+            if event.get("kind") != EV_SHARD_CYCLE_START:
+                continue
+            row = per_shard.setdefault(
+                event["shard"],
+                {
+                    "control": 0,
+                    "index": 0,
+                    "data": 0,
+                    "overflow": 0,
+                    "total": 0,
+                    "cycles": 0,
+                },
+            )
+            row["control"] += event.get("control_slots", 0)
+            row["index"] += event.get("index_slots", 0)
+            row["data"] += event.get("data_slots", 0)
+            row["overflow"] += event.get("overflow_slots", 0)
+            row["total"] += event.get("slots", 0)
+            row["cycles"] += 1
+        return per_shard

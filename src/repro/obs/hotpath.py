@@ -261,6 +261,61 @@ def bench_cohort(
     return best
 
 
+# -- shard: the multi-channel server ----------------------------------------
+
+
+def _shard_once(num_shards: int, num_clients: int, cycles: int) -> Dict[str, float]:
+    """One sharded run: the ``clients`` workload on the K-channel server.
+
+    At K=1 the sharded runtime is bit-identical to the single-channel
+    simulator (the shard oracle pins this), so the event count matches
+    ``_clients_once`` exactly and the wall-clock delta is pure seam
+    overhead."""
+    from repro.experiments.schemes import scheme_factory
+    from repro.shard.runtime import ShardedSimulation
+
+    sim = ShardedSimulation(
+        _clients_params(num_clients, cycles),
+        scheme_factory("inval"),
+        num_shards=num_shards,
+    )
+    gc.collect()
+    start = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "shards": float(num_shards),
+        "events": float(sim.env.events_processed),
+        "cycles": float(result.cycles_completed),
+        "events_per_sec": sim.env.events_processed / elapsed if elapsed else 0.0,
+        "cycles_per_sec": result.cycles_completed / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_shard(
+    repeats: int, num_clients: int = 10, cycles: int = 60
+) -> Dict[str, object]:
+    """K=1 (seam-overhead lane) and K=4 (multi-channel lane), plus the
+    single-channel run the K=1 lane is priced against."""
+    out: Dict[str, object] = {}
+    for label, thunk in (
+        ("single", lambda: _clients_once(num_clients, cycles)),
+        ("k1", lambda: _shard_once(1, num_clients, cycles)),
+        ("k4", lambda: _shard_once(4, num_clients, cycles)),
+    ):
+        best: Optional[Dict[str, float]] = None
+        for _ in range(max(1, repeats)):
+            sample = thunk()
+            if best is None or sample["seconds"] < best["seconds"]:
+                best = sample
+        out[label] = best
+    single = out["single"]["seconds"]
+    if single:
+        out["k1_overhead"] = round(out["k1"]["seconds"] / single - 1.0, 4)
+    return out
+
+
 # -- profile: where the time actually goes ---------------------------------
 
 
@@ -335,6 +390,12 @@ def run_suite(
         f"{cohort['clients_per_sec']:,.0f} clients/s  "
         f"{cohort['steps_per_sec']:,.0f} steps/s"
     )
+    say("shard: multi-channel server at K=1/K=4 ...")
+    shard = bench_shard(repeats, cycles=client_cycles)
+    say(
+        f"  K=1 overhead {shard.get('k1_overhead', 0.0):+.1%}  "
+        f"K=4 {shard['k4']['events_per_sec']:,.0f} events/s"
+    )
     say("profile: cProfile top functions ...")
     profile = bench_profile(top=profile_top, cycles=client_cycles)
 
@@ -350,6 +411,7 @@ def run_suite(
             "programs": programs,
             "clients": clients,
             "cohort": cohort,
+            "shard": shard,
             "profile": profile,
         },
     }
@@ -386,6 +448,7 @@ def attach_before(payload: Dict[str, object], before: Dict[str, object]) -> None
         for count in CLIENT_COUNTS
     ] + [
         ("cohort_clients_per_sec", ("suites", "cohort", "clients_per_sec")),
+        ("shard_k4_events_per_sec", ("suites", "shard", "k4", "events_per_sec")),
     ]
     for label, path in comparisons:
         now, then = _rate(payload, *path), _rate(before, *path)
@@ -456,6 +519,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="allowed events/sec drop vs --against (default: 0.2)",
     )
     parser.add_argument(
+        "--max-shard-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "fail if the K=1 sharded run is more than this fraction "
+            "slower than the single-channel run (target: 0.02)"
+        ),
+    )
+    parser.add_argument(
         "--profile-top", type=int, default=15, help="profile rows kept"
     )
     args = parser.parse_args(argv)
@@ -481,6 +554,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {out}")
+
+    if args.max_shard_overhead is not None:
+        overhead = payload["suites"]["shard"].get("k1_overhead")
+        if overhead is not None and overhead > args.max_shard_overhead:
+            print(
+                f"FAIL: K=1 sharded overhead {overhead:+.1%} exceeds "
+                f"{args.max_shard_overhead:.0%} of the single-channel run",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"K=1 sharded overhead {overhead:+.1%} "
+            f"(allowed: {args.max_shard_overhead:.0%})"
+        )
 
     if args.against:
         with open(args.against, "r", encoding="utf-8") as handle:

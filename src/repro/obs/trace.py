@@ -46,6 +46,10 @@ EV_HEADER = "trace.header"
 EV_CYCLE_START = "cycle.start"
 EV_CYCLE_END = "cycle.end"
 EV_PROGRAM_BUILD = "program.build"
+#: Per-shard cycle start (sharded mode only, one per shard per cycle):
+#: carries ``shard`` plus the shard program's slot breakdown, while the
+#: plain ``cycle.start`` carries the superframe totals.
+EV_SHARD_CYCLE_START = "shard.cycle.start"
 
 # CYCLE level, emitted by the sweep harness (O(cells), outside any one
 # simulation): per-cell completion and whole-sweep wall/cpu accounting.

@@ -30,25 +30,15 @@ from repro.client.machine import BroadcastClient
 from repro.faults.injector import FaultInjector
 from repro.config import ModelParameters
 from repro.core.base import Scheme
-from repro.core.control import (
-    BroadcastRequirements,
-    InvalidationReport,
-    ReportSchedule,
-)
-from repro.obs.trace import (
-    EV_CYCLE_END,
-    EV_CYCLE_START,
-    EV_ENGINE_STEP,
-    Tracer,
-    gate,
-)
+from repro.core.control import BroadcastRequirements, ReportSchedule
+from repro.obs.trace import EV_ENGINE_STEP, Tracer, gate
 from repro.resilience import build_client_resilience, resilience_seed
+from repro.server.backend import ServerBackend, SingleChannelBackend
 from repro.server.broadcast import ProgramBuilder
 from repro.server.database import Database
-from repro.server.transactions import TransactionEngine, merge_outcomes
+from repro.server.transactions import TransactionEngine
 from repro.server.versions import VersionStore
 from repro.sim.engine import Environment
-from repro.stats import names as metric_names
 from repro.stats.metrics import MetricsRegistry
 
 
@@ -229,84 +219,32 @@ class Simulation:
                 )
             )
 
-        self._cycles_completed = 0
-        self._total_slots = 0
+        self.backend: ServerBackend = SingleChannelBackend(
+            env=self.env,
+            params=params,
+            report_schedule=self.report_schedule,
+            metrics=self.metrics,
+            engine=self.engine,
+            builder=self.builder,
+            channel=self.channel,
+            trace_cycles=self._trace_c,
+        )
         self._stop = self.env.event()
         self.env.process(self._server_process())
 
     # -- the server loop ----------------------------------------------------------
 
     def _server_process(self):
-        cycle = 1
-        outcome = None
-        while cycle <= self.params.sim.num_cycles:
-            program = self.builder.build(cycle, outcome)
-            self.metrics.observe(metric_names.BROADCAST_SLOTS, program.total_slots)
-            self.metrics.observe(
-                metric_names.BROADCAST_CONTROL_SLOTS, program.control_slots
-            )
-            self.metrics.observe(
-                metric_names.BROADCAST_OVERFLOW_SLOTS,
-                len(program.overflow_buckets),
-            )
-            if self._trace_c is not None:
-                self._trace_c.emit(
-                    EV_CYCLE_START, cycle=cycle, **program.slot_breakdown()
-                )
-            self.channel.begin_cycle(program)
-            # Transactions logically commit *during* the cycle that just
-            # aired; their values go out with the next cycle's snapshot.
-            # With sub-cycle reports (§7) the commits are spread over the
-            # report intervals and announced as they happen.
-            intervals = self.report_schedule.per_cycle
-            if intervals == 1:
-                yield self.env.timeout(program.total_slots)
-                outcome = self.engine.run_cycle(cycle)
-            else:
-                outcome = yield from self._run_cycle_in_intervals(
-                    cycle, program, intervals
-                )
-            # Keep the server graph bounded like the clients' (Lemma 1).
-            retention = max(self.params.server.retention, 2)
-            self.engine.prune_graph_before(cycle - 4 * retention)
-            self._cycles_completed = cycle
-            self._total_slots += program.total_slots
-            if self._trace_c is not None:
-                self._trace_c.emit(
-                    EV_CYCLE_END,
-                    cycle=cycle,
-                    updates=len(outcome.updated_items) if outcome else 0,
-                )
-            cycle += 1
+        yield from self.backend.process()
         self._stop.succeed()
 
-    def _run_cycle_in_intervals(self, cycle, program, intervals):
-        """One cycle with sub-cycle invalidation reports (§7).
+    @property
+    def _cycles_completed(self) -> int:
+        return self.backend.cycles_completed
 
-        The cycle's server transactions commit in ``intervals`` batches at
-        the interval boundaries; each batch's updates (except the last,
-        which coincides with the next main report) are announced
-        immediately as an interim report tagged with the cycle at whose
-        start they become visible.
-        """
-        total = self.params.server.transactions_per_cycle
-        bounds = [round(i * total / intervals) for i in range(intervals + 1)]
-        h = program.total_slots / intervals
-        parts = []
-        for j in range(intervals):
-            yield self.env.timeout(h)
-            part = self.engine.run_batch(cycle, range(bounds[j], bounds[j + 1]))
-            parts.append(part)
-            if j < intervals - 1 and part.updated_items:
-                self.metrics.count(metric_names.BROADCAST_INTERIM_REPORTS)
-                self.channel.publish_interim_report(
-                    InvalidationReport(
-                        cycle=cycle + 1, updated_items=part.updated_items
-                    )
-                )
-        outcome = merge_outcomes(parts)
-        self.engine.record_outcome(outcome)
-        return outcome
+    @property
+    def _total_slots(self) -> int:
+        return self.backend.total_slots
 
     # -- running ----------------------------------------------------------------------
 

@@ -109,6 +109,62 @@ def merge_outcomes(parts: List[CycleOutcome]) -> CycleOutcome:
     )
 
 
+class _RestrictedGenerator:
+    """A Zipf generator restricted to a subset of its support.
+
+    The sharded server (:mod:`repro.shard`) gives each shard its own
+    engine but wants the *global* Zipf access skew: draws from the
+    underlying generator are kept only when they land on this shard's
+    items, so an item's relative popularity within the shard matches its
+    global popularity exactly.  Rejection is capped; the rare exhausted
+    draw falls back onto the allowed support deterministically (indexed
+    by the last rejected item) so the engine can never stall.
+    """
+
+    _REJECT_CAP = 64
+
+    def __init__(self, inner: OffsetZipfGenerator, allowed: FrozenSet[int]) -> None:
+        self._inner = inner
+        self._allowed = allowed
+        self._support = sorted(item for item in inner.support() if item in allowed)
+        if not self._support:
+            raise ValueError("restriction leaves the generator with no support")
+
+    def support(self) -> List[int]:
+        return list(self._support)
+
+    def probability(self, item: int) -> float:
+        return self._inner.probability(item) if item in self._allowed else 0.0
+
+    def sample(self) -> int:
+        item = 0
+        for _ in range(self._REJECT_CAP):
+            item = self._inner.sample()
+            if item in self._allowed:
+                return item
+        return self._support[(item - 1) % len(self._support)]
+
+    def sample_distinct(self, count: int) -> List[int]:
+        count = min(count, len(self._support))
+        picked: List[int] = []
+        seen: Set[int] = set()
+        budget = self._REJECT_CAP * count + self._REJECT_CAP
+        while len(picked) < count and budget > 0:
+            budget -= 1
+            item = self._inner.sample()
+            if item in self._allowed and item not in seen:
+                seen.add(item)
+                picked.append(item)
+        if len(picked) < count:
+            # Deterministic fill from the hottest remaining allowed items.
+            ranked = sorted(
+                (item for item in self._support if item not in seen),
+                key=lambda item: (-self._inner.probability(item), item),
+            )
+            picked.extend(ranked[: count - len(picked)])
+        return picked
+
+
 class TransactionEngine:
     """Generates and executes the per-cycle server update workload."""
 
@@ -120,6 +176,7 @@ class TransactionEngine:
         rng: Optional[random.Random] = None,
         keep_history: bool = False,
         interleaved: bool = False,
+        restrict_items: Optional[FrozenSet[int]] = None,
     ) -> None:
         self.params = params
         self.database = database
@@ -148,6 +205,15 @@ class TransactionEngine:
             universe=params.broadcast_size,
             rng=self._rng,
         )
+        if restrict_items is not None:
+            # Sharded server (repro.shard): this engine owns one shard's
+            # slice of the item space; every draw is filtered onto it.
+            self._update_gen = _RestrictedGenerator(
+                self._update_gen, restrict_items
+            )
+            self._read_gen = _RestrictedGenerator(
+                self._read_gen, restrict_items
+            )
         #: Cross-cycle conflict bookkeeping.
         self._last_writer: Dict[int, TxnId] = {}
         self._readers_since_write: Dict[int, Set[TxnId]] = {}

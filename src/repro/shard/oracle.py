@@ -1,0 +1,276 @@
+"""Differential oracle for the sharded broadcast server.
+
+Two claims, both checked mechanically (``python -m repro.shard.oracle``):
+
+1. **K=1 bit-identity** -- a :class:`~repro.shard.runtime.ShardedSimulation`
+   with one shard IS the single-channel :class:`~repro.runtime.Simulation`:
+   every metric counter, ratio and exact sampler sum, and every headline
+   result field, matches exactly, across schemes × seeds × faults on/off.
+   The comparison machinery is shared with the cohort oracle
+   (:func:`repro.cohort.oracle.registry_delta`), which pins the same
+   notion of "bit-identical".
+2. **Multi-shard consistency contracts** -- for K > 1, every committed
+   transaction satisfies its consistency mode's contract
+   (:func:`repro.shard.verify.sharded_violations`): per-shard
+   serializability always, plus a global snapshot for every
+   snapshot-based scheme and for everything in ``epoch`` mode.
+
+Exit status 0 iff every cell passes; cells past the ``--max-seconds``
+budget are skipped (reported, not failed), like the cohort oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.cohort.oracle import oracle_params, registry_delta, result_delta
+from repro.config import ModelParameters
+from repro.experiments.schemes import SCHEME_FACTORIES
+from repro.runtime import Simulation
+from repro.shard.runtime import ShardedSimulation
+from repro.shard.verify import sharded_violations
+
+#: Identity arm: the same line-up the cohort oracle pins down.
+DEFAULT_SCHEMES = (
+    "inval",
+    "inval+cache",
+    "versioned-cache",
+    "sgt+cache",
+    "multiversion+cache",
+)
+DEFAULT_SEEDS = (7, 11, 23, 42, 97)
+
+#: Contract arm: one scheme per consistency behaviour class (plain
+#: invalidation, marked-abort salvage, SGT, pinned-snapshot multiversion).
+CONTRACT_SCHEMES = (
+    "inval+cache",
+    "versioned-cache",
+    "sgt+cache",
+    "multiversion+cache",
+)
+DEFAULT_SHARDS = (2, 4)
+DEFAULT_FRACTIONS = (0.1, 0.5)
+DEFAULT_MODES = ("local", "epoch")
+DEFAULT_CONTRACT_SEEDS = (42,)
+
+
+def contract_params(
+    clients: int, seed: int, faults: bool, num_cycles: int = 30
+) -> ModelParameters:
+    """The contract arm's workload: the cohort-oracle cell, widened so
+    the read range spans every shard under *both* partitioners (a range
+    partition of 100 items at K=4 starts shard 3 at item 76)."""
+    params = oracle_params(
+        clients=clients, seed=seed, faults=faults, num_cycles=num_cycles
+    )
+    return params.with_client(read_range=80, cache_size=30)
+
+
+def check_identity_cell(
+    scheme: str, clients: int, seed: int, faults: bool, num_cycles: int
+) -> Dict:
+    """Compare one single-channel run against its K=1 sharded twin."""
+    params = oracle_params(
+        clients=clients, seed=seed, faults=faults, num_cycles=num_cycles
+    )
+    factory = SCHEME_FACTORIES[scheme]
+    single = Simulation(params, factory, keep_history=True).run()
+    sharded = ShardedSimulation(
+        params, factory, num_shards=1, keep_history=True
+    ).run()
+    mismatches = registry_delta(single.metrics, sharded.metrics)
+    mismatches.extend(result_delta(single, sharded))
+    return {
+        "arm": "identity",
+        "scheme": scheme,
+        "clients": clients,
+        "seed": seed,
+        "faults": faults,
+        "mismatches": mismatches,
+        "committed": sharded.committed_attempts,
+    }
+
+
+def check_contract_cell(
+    scheme: str,
+    shards: int,
+    mode: str,
+    fraction: float,
+    partitioner: str,
+    clients: int,
+    seed: int,
+    faults: bool,
+    num_cycles: int,
+) -> Dict:
+    """Run one multi-shard cell and check every committed transaction."""
+    params = contract_params(
+        clients=clients, seed=seed, faults=faults, num_cycles=num_cycles
+    )
+    sim = ShardedSimulation(
+        params,
+        SCHEME_FACTORIES[scheme],
+        num_shards=shards,
+        partitioner=partitioner,
+        consistency=mode,
+        cross_shard_fraction=fraction,
+        keep_history=True,
+    )
+    result = sim.run()
+    violations = sharded_violations(sim)
+    cross = result.metrics.get_counter("shard.cross_commits")
+    return {
+        "arm": "contract",
+        "scheme": scheme,
+        "shards": shards,
+        "mode": mode,
+        "fraction": fraction,
+        "partitioner": partitioner,
+        "seed": seed,
+        "faults": faults,
+        "committed": result.committed_attempts,
+        "cross_commits": cross.value if cross else 0,
+        "mismatches": [
+            {"txn": txn.txn_id, "contract": why} for txn, why in violations
+        ],
+    }
+
+
+def _dump_artifact(directory: str, name: str, report: Dict) -> None:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True, default=str)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shard.oracle", description=__doc__
+    )
+    parser.add_argument(
+        "--schemes", nargs="+", default=list(DEFAULT_SCHEMES),
+        choices=sorted(SCHEME_FACTORIES),
+    )
+    parser.add_argument("--seeds", nargs="+", type=int, default=list(DEFAULT_SEEDS))
+    parser.add_argument(
+        "--contract-seeds", nargs="+", type=int,
+        default=list(DEFAULT_CONTRACT_SEEDS),
+    )
+    parser.add_argument("--shards", nargs="+", type=int, default=list(DEFAULT_SHARDS))
+    parser.add_argument(
+        "--fractions", nargs="+", type=float, default=list(DEFAULT_FRACTIONS)
+    )
+    parser.add_argument(
+        "--modes", nargs="+", default=list(DEFAULT_MODES), choices=DEFAULT_MODES
+    )
+    parser.add_argument(
+        "--partitioners", nargs="+", default=["hash", "range"],
+        choices=["hash", "range"],
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--cycles", type=int, default=30)
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="wall budget; remaining cells are skipped, not failed",
+    )
+    parser.add_argument(
+        "--artifacts", default=None,
+        help="directory for per-failure JSON dumps",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+
+    def out_of_budget() -> bool:
+        return (
+            args.max_seconds is not None
+            and time.monotonic() - started > args.max_seconds
+        )
+
+    cells: List[tuple] = []
+    for scheme in args.schemes:
+        for seed in args.seeds:
+            for faults in (False, True):
+                cells.append(("identity", scheme, seed, faults, None))
+    for scheme in args.schemes:
+        if scheme not in CONTRACT_SCHEMES:
+            continue
+        for shards in args.shards:
+            for mode in args.modes:
+                for partitioner in args.partitioners:
+                    for fraction in args.fractions:
+                        for seed in args.contract_seeds:
+                            for faults in (False, True):
+                                cells.append(
+                                    (
+                                        "contract",
+                                        scheme,
+                                        seed,
+                                        faults,
+                                        (shards, mode, partitioner, fraction),
+                                    )
+                                )
+
+    passed = failed = skipped = 0
+    for cell in cells:
+        arm, scheme, seed, faults, extra = cell
+        if arm == "identity":
+            label = (
+                f"identity {scheme} seed={seed} "
+                f"faults={'on' if faults else 'off'}"
+            )
+        else:
+            shards, mode, partitioner, fraction = extra
+            label = (
+                f"contract {scheme} K={shards} {mode} {partitioner} "
+                f"f={fraction} seed={seed} faults={'on' if faults else 'off'}"
+            )
+        if out_of_budget():
+            skipped += 1
+            print(f"[skip] {label} (over --max-seconds budget)")
+            continue
+        if arm == "identity":
+            report = check_identity_cell(
+                scheme, args.clients, seed, faults, args.cycles
+            )
+        else:
+            report = check_contract_cell(
+                scheme,
+                shards,
+                mode,
+                fraction,
+                partitioner,
+                args.clients,
+                seed,
+                faults,
+                args.cycles,
+            )
+        if report["mismatches"]:
+            failed += 1
+            print(f"[FAIL] {label}: {len(report['mismatches'])} mismatch(es)")
+            for mismatch in report["mismatches"][:5]:
+                print(f"       {mismatch}")
+            if args.artifacts:
+                _dump_artifact(
+                    args.artifacts,
+                    label.replace(" ", "_").replace("=", ""),
+                    report,
+                )
+        else:
+            passed += 1
+            print(f"[ok] {label} (committed={report['committed']})")
+
+    total = passed + failed
+    print(
+        f"{'PASS' if failed == 0 else 'FAIL'}: {passed}/{total} cells clean"
+        + (f", {skipped} skipped" if skipped else "")
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

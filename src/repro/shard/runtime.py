@@ -1,0 +1,571 @@
+"""The sharded multi-channel broadcast server.
+
+:class:`ShardedSimulation` partitions the item space over ``K``
+broadcast channels.  Each shard owns a full server substrate -- its own
+transaction engine (restricted to the shard's items), program builder,
+version store and channel -- while the one shared :class:`Database`
+keeps the global item state authoritative.
+
+Cycle alignment ("superframes")
+-------------------------------
+All shards begin cycle ``c`` at the same instant, in shard order; the
+superframe lasts as long as the longest shard program.  The cycle number
+therefore doubles as a *global epoch*: any two programs carrying the
+same cycle number describe states current at the same moment.  This is
+what lets the snapshot-based schemes compose per-shard guarantees into
+global ones (DESIGN §13) and what the ``epoch`` consistency mode's
+currency discipline is defined against.
+
+K=1 bit-identity
+----------------
+With one shard the construction below performs *exactly* the RNG draws,
+event creations, metric observations and trace emissions of
+:class:`~repro.runtime.Simulation` -- it even reuses
+:class:`~repro.server.backend.SingleChannelBackend` -- so results are
+bit-identical; :mod:`repro.shard.oracle` enforces this differentially.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.broadcast.channel import BroadcastChannel
+from repro.broadcast.schedule import Schedule
+from repro.client.machine import BroadcastClient
+from repro.config import ModelParameters
+from repro.core.base import Scheme
+from repro.core.control import BroadcastRequirements, ReportSchedule
+from repro.faults.injector import _SEED_SALT, FaultInjector
+from repro.obs.trace import (
+    EV_CYCLE_END,
+    EV_CYCLE_START,
+    EV_ENGINE_STEP,
+    EV_SHARD_CYCLE_START,
+    Tracer,
+    gate,
+)
+from repro.runtime import SimulationResult
+from repro.server.backend import ServerBackend, SingleChannelBackend
+from repro.server.broadcast import ProgramBuilder
+from repro.server.database import Database
+from repro.server.transactions import TransactionEngine
+from repro.server.versions import VersionStore
+from repro.shard.client import ShardedClient
+from repro.shard.partition import Partitioner, make_partitioner
+from repro.shard.scheme import CONSISTENCY_MODES, MultiShardScheme
+from repro.sim.engine import Environment
+from repro.stats import names as metric_names
+from repro.stats.metrics import MetricsRegistry
+from repro.stats.zipf import OffsetZipfGenerator
+
+#: Knuth's 64-bit multiplicative constant, for per-shard fault seeds.
+_MIX = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+#: Salt for the cross-shard query shaper's RNG tree (independent of the
+#: workload and fault streams, like the fault injector's salt).
+_SHAPER_SALT = 0x5A4D_C0DE
+
+
+class ShardSchedule(Schedule):
+    """One shard's flat broadcast order: its items, ascending."""
+
+    def __init__(self, items: Sequence[int]) -> None:
+        if not items:
+            raise ValueError("A shard schedule needs at least one item")
+        self._order = sorted(items)
+
+    def item_order(self) -> List[int]:
+        return list(self._order)
+
+
+@dataclass
+class ShardState:
+    """One shard's server substrate."""
+
+    index: int
+    items: tuple
+    channel: BroadcastChannel
+    builder: ProgramBuilder
+    engine: Optional[TransactionEngine]
+    version_store: Optional[VersionStore]
+    retention: int
+    #: Server transactions committed per cycle on this shard.
+    txn_count: int
+    #: First per-cycle sequence number, so TxnIds stay globally unique.
+    seq_base: int
+    injector: Optional[FaultInjector] = None
+
+
+def apportion(total: int, masses: Sequence[float]) -> List[int]:
+    """Largest-remainder apportionment of ``total`` units over ``masses``.
+
+    Zero-mass entries get zero; the result always sums to ``total`` when
+    any mass is positive.
+    """
+    weight = sum(masses)
+    if weight <= 0 or total <= 0:
+        return [0] * len(masses)
+    quotas = [total * mass / weight for mass in masses]
+    shares = [int(quota) for quota in quotas]
+    leftover = total - sum(shares)
+    by_remainder = sorted(
+        range(len(masses)),
+        key=lambda idx: (-(quotas[idx] - shares[idx]), idx),
+    )
+    for idx in by_remainder[:leftover]:
+        if masses[idx] > 0:
+            shares[idx] += 1
+        else:
+            # Push the unit to the largest-mass shard instead.
+            best = max(range(len(masses)), key=lambda j: masses[j])
+            shares[best] += 1
+    return shares
+
+
+class ShardedBroadcastBackend(ServerBackend):
+    """Aligned-superframe driver over K shard substrates (one process).
+
+    Every shard builds and airs its cycle-``c`` program at the same
+    instant; the frame advances by the *longest* program.  Per-shard
+    engines then commit their apportioned slice of the cycle's update
+    transactions (visible at ``c + 1`` on their shard's next program).
+    """
+
+    def __init__(
+        self,
+        *,
+        env: Environment,
+        params: ModelParameters,
+        metrics: MetricsRegistry,
+        shards: Sequence[ShardState],
+        trace_cycles: Optional[Tracer] = None,
+    ) -> None:
+        self.env = env
+        self.params = params
+        self.metrics = metrics
+        self.shards = list(shards)
+        self._trace_c = trace_cycles
+        self.cycles_completed = 0
+        self.total_slots = 0
+
+    def process(self):
+        cycle = 1
+        outcomes: Dict[int, object] = {shard.index: None for shard in self.shards}
+        while cycle <= self.params.sim.num_cycles:
+            programs = [
+                shard.builder.build(cycle, outcomes[shard.index])
+                for shard in self.shards
+            ]
+            superframe = max(program.total_slots for program in programs)
+            self.metrics.observe(metric_names.BROADCAST_SLOTS, superframe)
+            self.metrics.observe(
+                metric_names.BROADCAST_CONTROL_SLOTS,
+                sum(program.control_slots for program in programs),
+            )
+            self.metrics.observe(
+                metric_names.BROADCAST_OVERFLOW_SLOTS,
+                sum(len(program.overflow_buckets) for program in programs),
+            )
+            for shard, program in zip(self.shards, programs):
+                self.metrics.observe(
+                    metric_names.shard_metric(
+                        shard.index, metric_names.BROADCAST_SLOTS
+                    ),
+                    program.total_slots,
+                )
+            if self._trace_c is not None:
+                breakdowns = [program.slot_breakdown() for program in programs]
+                totals = {
+                    key: sum(b[key] for b in breakdowns)
+                    for key in (
+                        "control_slots",
+                        "index_slots",
+                        "data_slots",
+                        "overflow_slots",
+                    )
+                }
+                self._trace_c.emit(
+                    EV_CYCLE_START,
+                    cycle=cycle,
+                    slots=superframe,
+                    shards=len(self.shards),
+                    **totals,
+                )
+                for shard, breakdown in zip(self.shards, breakdowns):
+                    self._trace_c.emit(
+                        EV_SHARD_CYCLE_START,
+                        cycle=cycle,
+                        shard=shard.index,
+                        **breakdown,
+                    )
+            # All shards go on air at the same instant, in shard order.
+            for shard, program in zip(self.shards, programs):
+                shard.channel.begin_cycle(program)
+            yield self.env.timeout(superframe)
+            updates = 0
+            for shard in self.shards:
+                if shard.engine is None or shard.txn_count == 0:
+                    outcomes[shard.index] = None
+                    continue
+                outcome = shard.engine.run_batch(
+                    cycle, range(shard.seq_base, shard.seq_base + shard.txn_count)
+                )
+                shard.engine.record_outcome(outcome)
+                shard.engine.prune_graph_before(
+                    cycle - 4 * max(shard.retention, 2)
+                )
+                outcomes[shard.index] = outcome
+                updates += len(outcome.updated_items)
+            self.cycles_completed = cycle
+            self.total_slots += superframe
+            if self._trace_c is not None:
+                self._trace_c.emit(EV_CYCLE_END, cycle=cycle, updates=updates)
+            cycle += 1
+
+
+class ShardedSimulation:
+    """One sharded broadcast-push simulation (K channels, one database).
+
+    ``shard_retention`` optionally tunes the old-version retention ``S``
+    per shard (a sequence of K ints); the default applies the global
+    ``ServerParameters.retention`` everywhere.
+    """
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        scheme_factory: Callable[[], Scheme],
+        num_shards: int = 1,
+        partitioner: str = "hash",
+        consistency: str = "local",
+        cross_shard_fraction: Optional[float] = None,
+        schedule: Optional[Schedule] = None,
+        keep_history: bool = False,
+        report_schedule: Optional[ReportSchedule] = None,
+        tracer: Optional[Tracer] = None,
+        shard_retention: Optional[Sequence[int]] = None,
+    ) -> None:
+        params.validate()
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if consistency not in CONSISTENCY_MODES:
+            raise ValueError(
+                f"Unknown consistency mode {consistency!r}; known: "
+                + ", ".join(CONSISTENCY_MODES)
+            )
+        if params.resilience.active:
+            raise ValueError(
+                "sharded mode does not support the resilience layer; "
+                "run without resilience knobs or with --shards omitted"
+            )
+        if schedule is not None and num_shards > 1:
+            raise ValueError(
+                "custom broadcast schedules apply to the single-channel "
+                "server only; shards derive their order from the partitioner"
+            )
+        if shard_retention is not None and len(shard_retention) != num_shards:
+            raise ValueError(
+                f"shard_retention needs one entry per shard "
+                f"({num_shards}), got {len(shard_retention)}"
+            )
+        self.params = params
+        self.num_shards = num_shards
+        self.consistency = consistency
+        self.cross_shard_fraction = cross_shard_fraction
+        self.report_schedule = report_schedule or ReportSchedule()
+        if num_shards > 1 and self.report_schedule.per_cycle != 1:
+            raise ValueError(
+                "sub-cycle reports are a single-channel extension; "
+                "sharded mode requires reports_per_cycle == 1"
+            )
+        if isinstance(partitioner, Partitioner):
+            self.partitioner = partitioner
+        else:
+            self.partitioner = make_partitioner(
+                partitioner, num_shards, params.server.broadcast_size
+            )
+
+        self.env = Environment()
+        self.metrics = MetricsRegistry()
+        self._rng = random.Random(params.sim.seed)
+        self.tracer = tracer
+        self._trace_c = gate(tracer, "cycles")
+        if tracer is not None and tracer.enabled:
+            tracer.bind_clock(lambda: self.env.now)
+            if tracer.engine:
+                self.env.set_trace_hook(
+                    lambda now, ev: tracer.emit(
+                        EV_ENGINE_STEP, event=type(ev).__name__
+                    )
+                )
+
+        # -- shared server substrate ---------------------------------------
+        self.database = Database(params.server.broadcast_size)
+
+        if num_shards == 1:
+            self.schemes: List[Scheme] = [
+                scheme_factory() for _ in range(params.sim.num_clients)
+            ]
+        else:
+            self.schemes = [
+                MultiShardScheme(scheme_factory, self.partitioner, consistency)
+                for _ in range(params.sim.num_clients)
+            ]
+        requirements = BroadcastRequirements(
+            report_window=self.report_schedule.window
+        )
+        for scheme in self.schemes:
+            requirements = requirements.merge(scheme.requirements())
+        self.requirements = requirements
+
+        # -- per-shard substrates --------------------------------------------
+        shard_items = [
+            tuple(self.partitioner.items_of(k)) for k in range(num_shards)
+        ]
+        for k, items in enumerate(shard_items):
+            if not items:
+                raise ValueError(
+                    f"shard {k} owns no items under the "
+                    f"{self.partitioner.name} partitioner; reduce the shard "
+                    f"count or grow the item universe"
+                )
+        txn_counts, upt = self._apportion_workload(shard_items)
+        seq_bases = []
+        base = 0
+        for count in txn_counts:
+            seq_bases.append(base)
+            base += count
+
+        self.shards: List[ShardState] = []
+        for k in range(num_shards):
+            retention = (
+                shard_retention[k]
+                if shard_retention is not None
+                else params.server.retention
+            )
+            version_store: Optional[VersionStore] = None
+            if requirements.needs_old_versions:
+                version_store = VersionStore(self.database, retention=retention)
+            engine: Optional[TransactionEngine] = None
+            if num_shards == 1:
+                engine = TransactionEngine(
+                    params.server,
+                    self.database,
+                    version_store=version_store,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                    keep_history=keep_history,
+                )
+            elif txn_counts[k] > 0:
+                shard_server = replace(
+                    params.server,
+                    transactions_per_cycle=txn_counts[k],
+                    updates_per_cycle=txn_counts[k] * upt,
+                )
+                engine = TransactionEngine(
+                    shard_server,
+                    self.database,
+                    version_store=version_store,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                    keep_history=keep_history,
+                    restrict_items=frozenset(shard_items[k]),
+                )
+            builder = ProgramBuilder(
+                params.server,
+                self.database,
+                version_store=version_store,
+                schedule=(
+                    schedule
+                    if num_shards == 1
+                    else ShardSchedule(shard_items[k])
+                ),
+                requirements=requirements,
+                tracer=tracer,
+            )
+            channel = BroadcastChannel(self.env)
+            self.shards.append(
+                ShardState(
+                    index=k,
+                    items=shard_items[k],
+                    channel=channel,
+                    builder=builder,
+                    engine=engine,
+                    version_store=version_store,
+                    retention=retention,
+                    txn_count=txn_counts[k] if num_shards > 1 else
+                    params.server.transactions_per_cycle,
+                    seq_base=seq_bases[k],
+                )
+            )
+
+        # -- fault layer -----------------------------------------------------
+        if params.faults.active:
+            for shard in self.shards:
+                faults = params.faults
+                if shard.index > 0:
+                    base_seed = (
+                        faults.seed
+                        if faults.seed is not None
+                        else params.sim.seed ^ _SEED_SALT
+                    )
+                    derived = (base_seed ^ ((_MIX * shard.index) & _MASK)) & _MASK
+                    faults = replace(faults, seed=derived)
+                shard.injector = FaultInjector(
+                    faults, params.sim, self.metrics, tracer=tracer
+                )
+
+        # -- clients ---------------------------------------------------------
+        subscribed = sorted(
+            {
+                self.partitioner.shard_of(item)
+                for item in range(1, params.client.read_range + 1)
+            }
+        )
+        shaper_rng: Optional[random.Random] = None
+        if cross_shard_fraction is not None and num_shards > 1:
+            shaper_rng = random.Random(
+                (params.sim.seed ^ _SHAPER_SALT) & _MASK
+            )
+        self.clients: List[BroadcastClient] = []
+        for client_id, scheme in enumerate(self.schemes):
+            channels: Dict[int, object] = {}
+            for k in subscribed:
+                shard = self.shards[k]
+                channel = shard.channel
+                if shard.injector is not None:
+                    channel = shard.injector.wrap(shard.channel, client_id)
+                channels[k] = channel
+            storm = None
+            if self.shards[0].injector is not None:
+                storm = self.shards[0].injector.disconnections_for(client_id)
+            if num_shards > 1:
+                scheme.bind_channels(channels)
+            self.clients.append(
+                ShardedClient(
+                    env=self.env,
+                    channels=channels,
+                    primary=subscribed[0],
+                    partitioner=self.partitioner,
+                    scheme=scheme,
+                    params=params.client,
+                    metrics=self.metrics,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                    disconnect=storm,
+                    client_id=client_id,
+                    warmup_cycles=params.sim.warmup_cycles,
+                    tracer=tracer,
+                    cross_fraction=(
+                        cross_shard_fraction if num_shards > 1 else None
+                    ),
+                    shaper_rng=(
+                        random.Random(shaper_rng.getrandbits(64))
+                        if shaper_rng is not None
+                        else None
+                    ),
+                )
+            )
+
+        # -- the driver -------------------------------------------------------
+        if num_shards == 1:
+            self.backend: ServerBackend = SingleChannelBackend(
+                env=self.env,
+                params=params,
+                report_schedule=self.report_schedule,
+                metrics=self.metrics,
+                engine=self.shards[0].engine,
+                builder=self.shards[0].builder,
+                channel=self.shards[0].channel,
+                trace_cycles=self._trace_c,
+            )
+        else:
+            self.backend = ShardedBroadcastBackend(
+                env=self.env,
+                params=params,
+                metrics=self.metrics,
+                shards=self.shards,
+                trace_cycles=self._trace_c,
+            )
+        self._stop = self.env.event()
+        self.env.process(self._server_process())
+
+    # -- workload apportionment -------------------------------------------
+
+    def _apportion_workload(self, shard_items) -> tuple:
+        """Per-shard transaction counts plus the (global) updates per
+        transaction.
+
+        Transactions are apportioned by each shard's share of the update
+        Zipf mass, so the *aggregate* update workload -- skew included --
+        matches the single-channel server's; each transaction keeps the
+        global updates-per-transaction size.  Shards with no update mass
+        commit nothing (their items are read-only at the server).
+        """
+        server = self.params.server
+        if self.num_shards == 1:
+            return [server.transactions_per_cycle], server.updates_per_transaction
+        probe = OffsetZipfGenerator(
+            n=server.update_range,
+            theta=server.theta,
+            offset=server.offset,
+            universe=server.broadcast_size,
+            rng=random.Random(0),
+        )
+        support = set(probe.support())
+        masses = [
+            sum(probe.probability(item) for item in items if item in support)
+            for items in shard_items
+        ]
+        counts = apportion(server.transactions_per_cycle, masses)
+        return counts, server.updates_per_transaction
+
+    # -- the server loop ---------------------------------------------------
+
+    def _server_process(self):
+        yield from self.backend.process()
+        self._stop.succeed()
+
+    # -- single-channel compatibility surface ------------------------------
+
+    @property
+    def engine(self) -> Optional[TransactionEngine]:
+        return self.shards[0].engine
+
+    @property
+    def builder(self) -> ProgramBuilder:
+        return self.shards[0].builder
+
+    @property
+    def channel(self) -> BroadcastChannel:
+        return self.shards[0].channel
+
+    @property
+    def version_store(self) -> Optional[VersionStore]:
+        return self.shards[0].version_store
+
+    @property
+    def _cycles_completed(self) -> int:
+        return self.backend.cycles_completed
+
+    @property
+    def _total_slots(self) -> int:
+        return self.backend.total_slots
+
+    # -- running -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to the configured number of cycles and aggregate results."""
+        self.env.run(until=self._stop)
+        mean_slots = (
+            self._total_slots / self._cycles_completed
+            if self._cycles_completed
+            else 0.0
+        )
+        return SimulationResult(
+            params=self.params,
+            scheme_label=self.schemes[0].label if self.schemes else "none",
+            metrics=self.metrics,
+            cycles_completed=self._cycles_completed,
+            mean_cycle_slots=mean_slots,
+            clients=self.clients,
+        )

@@ -1,0 +1,91 @@
+"""Correctness contracts for the sharded broadcast.
+
+What a committed read-only transaction is entitled to depends on the
+consistency mode (see :mod:`repro.shard.scheme`):
+
+* **Per-shard contract (both modes)** -- for every shard a transaction
+  read from, the sub-readset restricted to that shard must satisfy the
+  single-channel correctness oracle (:func:`repro.verify.check_transaction`)
+  against that shard's history: a snapshot of some shard cycle, or
+  serializable with the shard's update transactions (SGT).
+* **Global snapshot** -- the whole readset matches the database at one
+  cycle (:func:`repro.verify.snapshot_cycle_of`).  Guaranteed for every
+  snapshot-based scheme in *both* modes (the shared deadline/first-read
+  state composes across epoch-aligned shards) and for every scheme in
+  ``epoch`` mode.  The one documented anomaly -- multi-shard SGT in
+  ``local`` mode -- is exactly the case this check is *not* applied to.
+
+Because server transactions never span shards, a globally
+snapshot-consistent read is also globally serializable: any cycle through
+the reader in the union serialization graph would need a cross-shard
+server-server edge, which cannot exist (DESIGN §13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.transaction import ReadOnlyTransaction, TransactionStatus
+from repro.verify import check_transaction, snapshot_cycle_of
+
+
+def _sub_txn(txn: ReadOnlyTransaction, shard: int, items) -> ReadOnlyTransaction:
+    """The restriction of ``txn`` to one shard's items, as a pseudo
+    transaction the single-channel oracle can check."""
+    sub = ReadOnlyTransaction(
+        txn_id=f"{txn.txn_id}#s{shard}", items=list(items)
+    )
+    for item in items:
+        result = txn.reads[item]
+        sub.reads[item] = result
+        sub.cycles_touched.add(result.read_cycle)
+        if sub.first_read_cycle is None:
+            sub.first_read_cycle = result.read_cycle
+    sub.status = TransactionStatus.COMMITTED
+    sub.end_cycle = txn.end_cycle
+    return sub
+
+
+def sharded_violations(sim) -> List[Tuple[ReadOnlyTransaction, str]]:
+    """Committed client transactions violating their mode's contract.
+
+    ``sim`` is a :class:`~repro.shard.runtime.ShardedSimulation` after
+    :meth:`run`.  Returns ``(transaction, description)`` pairs; empty
+    means every committed transaction met its consistency contract.
+    """
+    partitioner = sim.partitioner
+    sgt = sim.requirements.needs_sgt
+    check_global = sim.consistency == "epoch" or not sgt
+
+    histories: Dict[int, object] = {}
+    base_graphs: Dict[int, object] = {}
+    for shard in sim.shards:
+        if shard.engine is not None and shard.engine.history is not None:
+            histories[shard.index] = shard.engine.history
+            base_graphs[shard.index] = (
+                shard.engine.history.serialization_graph()
+            )
+
+    bad: List[Tuple[ReadOnlyTransaction, str]] = []
+    for client in sim.clients:
+        for txn in client.completed:
+            if txn.status is not TransactionStatus.COMMITTED:
+                continue
+            by_shard: Dict[int, List[int]] = {}
+            for item in txn.reads:
+                by_shard.setdefault(partitioner.shard_of(item), []).append(item)
+            for shard_index, items in sorted(by_shard.items()):
+                sub = _sub_txn(txn, shard_index, sorted(items))
+                if not check_transaction(
+                    sub,
+                    sim.database,
+                    history=histories.get(shard_index),
+                    base_graph=base_graphs.get(shard_index),
+                ):
+                    bad.append(
+                        (txn, f"shard {shard_index} per-shard contract")
+                    )
+            if check_global and len(by_shard) > 1:
+                if snapshot_cycle_of(txn, sim.database) is None:
+                    bad.append((txn, "global snapshot"))
+    return bad

@@ -49,6 +49,25 @@ BROADCAST_CONTROL_SLOTS = "broadcast.control_slots"
 BROADCAST_OVERFLOW_SLOTS = "broadcast.overflow_slots"
 BROADCAST_INTERIM_REPORTS = "broadcast.interim_reports"
 
+# -- sharded multi-channel broadcast (see repro.shard) ----------------------
+
+#: Prefix of every per-shard metric (``shard.<k>.<base>``); emitted only
+#: when more than one shard exists, so single-channel registries (and the
+#: K=1 bit-identity oracle) never see them.
+SHARD_PREFIX = "shard."
+
+
+def shard_metric(shard: int, base: str) -> str:
+    """Per-shard metric name, e.g. ``shard.2.broadcast.slots``."""
+    return f"{SHARD_PREFIX}{shard}.{base}"
+
+
+#: Counter: multi-shard queries aborted by the epoch-aligned consistency
+#: discipline (``abort.epoch_mismatch`` counts the same aborts by reason).
+SHARD_EPOCH_ABORTS = "shard.epoch_aborts"
+#: Counter: committed queries whose readset touched more than one shard.
+SHARD_CROSS_COMMITS = "shard.cross_commits"
+
 # -- fault injection (see repro.faults) ------------------------------------
 
 #: Data buckets that never reached a client (per client, summed).
