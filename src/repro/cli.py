@@ -117,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="clients advanced per cohort chunk (default: 4096)",
     )
+    run.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help=(
+            "use the dict-backed reference item-state store instead of "
+            "the array-backed columnar store (DESIGN §14); results are "
+            "bit-identical, only the server hot path slows down"
+        ),
+    )
     shard = run.add_argument_group(
         "sharding", "partition items over K broadcast channels (see repro.shard)"
     )
@@ -536,6 +545,7 @@ def _run_cohorts(args, params, schedule) -> int:
             scheme_factory=scheme_factory(args.scheme),
             report_schedule=schedule,
             cohort_size=args.cohort_size,
+            columnar=not args.no_columnar,
         )
     except ValueError as error:
         print(f"--cohorts: {error}")
@@ -610,6 +620,7 @@ def _run_sharded(args, params, schedule) -> int:
             report_schedule=schedule,
             keep_history=args.verify,
             tracer=tracer,
+            columnar=not args.no_columnar,
         )
     except ValueError as error:
         print(f"--shards: {error}")
@@ -693,6 +704,7 @@ def _command_run(args: argparse.Namespace) -> int:
         keep_history=args.verify,
         interleaved_server=args.interleaved_server,
         tracer=tracer,
+        columnar=not args.no_columnar,
     )
     result = sim.run()
     if tracer is not None:

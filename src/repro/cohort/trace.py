@@ -30,8 +30,8 @@ from repro.config import ModelParameters
 from repro.core.control import BroadcastRequirements
 from repro.server.broadcast import ProgramBuilder
 from repro.server.database import Database
+from repro.server.itemstate import ItemStateStore, make_item_state
 from repro.server.transactions import TransactionEngine
-from repro.server.versions import VersionStore
 from repro.stats import names as metric_names
 from repro.stats.metrics import MetricsRegistry
 
@@ -60,6 +60,7 @@ def build_trace(
     requirements: BroadcastRequirements,
     metrics: MetricsRegistry,
     rng: random.Random,
+    columnar: bool = True,
 ) -> ServerTrace:
     """Run the server loop for every cycle and record the programs.
 
@@ -68,11 +69,17 @@ def build_trace(
     the update workload matches the discrete run's bit for bit.
     """
     database = Database(params.server.broadcast_size)
-    version_store: Optional[VersionStore] = None
-    if requirements.needs_old_versions:
-        version_store = VersionStore(
-            database, retention=params.server.retention
-        )
+    item_state: ItemStateStore = make_item_state(
+        database,
+        retention=(
+            params.server.retention if requirements.needs_old_versions else 0
+        ),
+        columnar=columnar,
+        items_per_bucket=params.server.items_per_bucket,
+    )
+    version_store: Optional[ItemStateStore] = (
+        item_state if requirements.needs_old_versions else None
+    )
     engine = TransactionEngine(
         params.server, database, version_store=version_store, rng=rng
     )
@@ -81,6 +88,7 @@ def build_trace(
         database,
         version_store=version_store,
         requirements=requirements,
+        item_state=item_state,
     )
     records: List[CycleRecord] = []
     outcome = None

@@ -101,25 +101,45 @@ def _builder_supports_incremental() -> bool:
 
 
 def _programs_once(
-    cycles: int, organization: Optional[str], incremental: bool
+    cycles: int,
+    organization: Optional[str],
+    incremental: bool,
+    columnar: bool = True,
+    db_size: Optional[int] = None,
 ) -> Dict[str, float]:
     """Time ``cycles`` builder invocations while a real engine advances
-    the database between them (the server loop minus the channel)."""
+    the database between them (the server loop minus the channel).
+
+    ``columnar=False`` runs the dict-backed reference item-state store
+    (the pre-refactor path) so the columnar speedup is measured within
+    one payload, on one machine.  ``db_size`` overrides the item count
+    (the ``bigdb`` lane airs a 10^5-item database)."""
+    from dataclasses import replace
+
     from repro.core.control import BroadcastRequirements
     from repro.server.broadcast import ProgramBuilder
     from repro.server.database import Database
+    from repro.server.itemstate import make_item_state
     from repro.server.transactions import TransactionEngine
-    from repro.server.versions import VersionStore
 
     params = DEFAULTS.server
+    if db_size is not None:
+        params = replace(params, broadcast_size=db_size)
     database = Database(params.broadcast_size)
     requirements = BroadcastRequirements()
-    version_store = None
+    retention = 0
     if organization is not None:
         requirements = BroadcastRequirements(
             needs_old_versions=True, organization=organization
         )
-        version_store = VersionStore(database, retention=params.retention)
+        retention = params.retention
+    item_state = make_item_state(
+        database,
+        retention=retention,
+        columnar=columnar,
+        items_per_bucket=params.items_per_bucket,
+    )
+    version_store = item_state if organization is not None else None
     engine = TransactionEngine(
         params, database, version_store=version_store, rng=random.Random(11)
     )
@@ -131,6 +151,7 @@ def _programs_once(
         database,
         version_store=version_store,
         requirements=requirements,
+        item_state=item_state,
         **kwargs,
     )
 
@@ -149,16 +170,36 @@ def _programs_once(
     }
 
 
-def bench_programs(repeats: int, cycles: int = 120) -> Dict[str, object]:
+def bench_programs(
+    repeats: int, cycles: int = 120, bigdb_size: int = 100_000
+) -> Dict[str, object]:
     out: Dict[str, object] = {"cycles": cycles}
     variants = [("flat", None), ("overflow", "overflow"), ("clustered", "clustered")]
-    for label, organization in variants:
+    # The columnar lane and its dict-reference twin alternate within
+    # every repeat round, so the in-process ratio (the CI
+    # columnar-regression gate) brackets the same noise window — a CPU
+    # spike landing on one lane's consecutive repeats would otherwise
+    # fake a regression either way.
+    for label, organization in variants[:2]:
         best: Optional[Dict[str, float]] = None
+        best_dict: Optional[Dict[str, float]] = None
         for _ in range(max(1, repeats)):
             sample = _programs_once(cycles, organization, incremental=True)
             if best is None or sample["seconds"] < best["seconds"]:
                 best = sample
+            twin = _programs_once(
+                cycles, organization, incremental=True, columnar=False
+            )
+            if best_dict is None or twin["seconds"] < best_dict["seconds"]:
+                best_dict = twin
         out[label] = best
+        out[f"{label}_dict"] = best_dict
+    best = None
+    for _ in range(max(1, repeats)):
+        sample = _programs_once(cycles, "clustered", incremental=True)
+        if best is None or sample["seconds"] < best["seconds"]:
+            best = sample
+    out["clustered"] = best
     if _builder_supports_incremental():
         # The same build loop with the persistent index switched off: the
         # copy-on-write win is measured against the full rebuild, on the
@@ -170,6 +211,28 @@ def bench_programs(repeats: int, cycles: int = 120) -> Dict[str, object]:
                 if best is None or sample["seconds"] < best["seconds"]:
                     best = sample
             out[f"{label}_full_rebuild"] = best
+    # The item-count scale lane the columnar store unlocks (ROADMAP
+    # item 4): overflow builds over a 10^5-item database, columnar and
+    # dict reference alternating round by round.
+    bigdb_cycles = max(6, cycles // 10)
+    best = None
+    best_dict: Optional[Dict[str, float]] = None
+    for _ in range(max(1, repeats)):
+        sample = _programs_once(
+            bigdb_cycles, "overflow", incremental=True, db_size=bigdb_size
+        )
+        if best is None or sample["seconds"] < best["seconds"]:
+            best = sample
+        twin = _programs_once(
+            bigdb_cycles, "overflow", incremental=True, columnar=False,
+            db_size=bigdb_size,
+        )
+        if best_dict is None or twin["seconds"] < best_dict["seconds"]:
+            best_dict = twin
+    out["bigdb"] = best
+    out["bigdb"]["db_size"] = float(bigdb_size)
+    out["bigdb_dict"] = best_dict
+    out["bigdb_dict"]["db_size"] = float(bigdb_size)
     return out
 
 
@@ -185,13 +248,16 @@ def _clients_params(num_clients: int, cycles: int) -> ModelParameters:
     )
 
 
-def _clients_once(num_clients: int, cycles: int) -> Dict[str, float]:
+def _clients_once(
+    num_clients: int, cycles: int, columnar: bool = True
+) -> Dict[str, float]:
     from repro.experiments.schemes import scheme_factory
     from repro.runtime import Simulation
 
     sim = Simulation(
         _clients_params(num_clients, cycles),
         scheme_factory=scheme_factory("inval"),
+        columnar=columnar,
     )
     gc.collect()
     start = time.perf_counter()
@@ -210,13 +276,24 @@ def bench_clients(repeats: int, cycles: int = 60) -> Dict[str, Dict[str, float]]
     out: Dict[str, Dict[str, float]] = {}
     for count in CLIENT_COUNTS:
         best: Optional[Dict[str, float]] = None
+        best_dict: Optional[Dict[str, float]] = None
         # The 100-client point is the slow one; one repeat is plenty there.
         rounds = max(1, repeats if count < 100 else 1)
         for _ in range(rounds):
             sample = _clients_once(count, cycles)
             if best is None or sample["seconds"] < best["seconds"]:
                 best = sample
+            if count == 10:
+                # The dict-reference twin alternates with the columnar
+                # lane so the in-process end-to-end comparison brackets
+                # the same noise window (same rationale as the program
+                # lanes).
+                twin = _clients_once(10, cycles, columnar=False)
+                if best_dict is None or twin["seconds"] < best_dict["seconds"]:
+                    best_dict = twin
         out[str(count)] = best
+        if count == 10:
+            out["10_dict"] = best_dict
     return out
 
 
@@ -374,8 +451,16 @@ def run_suite(
     say("dispatch: engine ping ...")
     dispatch = bench_dispatch(repeats, hops=hops)
     say(f"  {dispatch['events_per_sec']:,.0f} events/s")
-    say("programs: builder loop ...")
-    programs = bench_programs(repeats, cycles=cycles)
+    say("programs: builder loop (columnar + dict reference + bigdb) ...")
+    programs = bench_programs(
+        repeats, cycles=cycles, bigdb_size=20_000 if quick else 100_000
+    )
+    say(
+        f"  flat {programs['flat']['builds_per_sec']:,.1f} builds/s "
+        f"(dict {programs['flat_dict']['builds_per_sec']:,.1f})  "
+        f"bigdb {programs['bigdb']['builds_per_sec']:,.1f} builds/s "
+        f"(dict {programs['bigdb_dict']['builds_per_sec']:,.1f})"
+    )
     say("clients: end-to-end at 1/10/100 ...")
     clients = bench_clients(repeats, cycles=client_cycles)
     for count, sample in clients.items():
@@ -447,6 +532,10 @@ def attach_before(payload: Dict[str, object], before: Dict[str, object]) -> None
         )
         for count in CLIENT_COUNTS
     ] + [
+        (
+            "clients_10_cycles_per_sec",
+            ("suites", "clients", "10", "cycles_per_sec"),
+        ),
         ("cohort_clients_per_sec", ("suites", "cohort", "clients_per_sec")),
         ("shard_k4_events_per_sec", ("suites", "shard", "k4", "events_per_sec")),
     ]
@@ -455,6 +544,49 @@ def attach_before(payload: Dict[str, object], before: Dict[str, object]) -> None
         if now is not None and then:
             speedups[label] = round(now / then, 4)
     payload["speedup_vs_before"] = speedups
+
+
+def columnar_regressions(
+    payload: Dict[str, object], max_regression: float
+) -> List[str]:
+    """CI gate for the columnar refactor: each columnar lane must not
+    fall more than ``max_regression`` below its dict-reference twin,
+    measured back-to-back in the same process (machine-independent).
+    Returns the violated checks (empty = pass)."""
+    failures: List[str] = []
+    pairs = [
+        (
+            "flat builds/sec",
+            ("suites", "programs", "flat", "builds_per_sec"),
+            ("suites", "programs", "flat_dict", "builds_per_sec"),
+        ),
+        (
+            "overflow builds/sec",
+            ("suites", "programs", "overflow", "builds_per_sec"),
+            ("suites", "programs", "overflow_dict", "builds_per_sec"),
+        ),
+        (
+            "bigdb builds/sec",
+            ("suites", "programs", "bigdb", "builds_per_sec"),
+            ("suites", "programs", "bigdb_dict", "builds_per_sec"),
+        ),
+        (
+            "10-client cycles/sec",
+            ("suites", "clients", "10", "cycles_per_sec"),
+            ("suites", "clients", "10_dict", "cycles_per_sec"),
+        ),
+    ]
+    for label, now_path, ref_path in pairs:
+        now, ref = _rate(payload, *now_path), _rate(payload, *ref_path)
+        if now is None or not ref:
+            continue
+        floor = ref * (1.0 - max_regression)
+        if now < floor:
+            failures.append(
+                f"columnar {label} below dict reference: {now:,.1f} < "
+                f"{floor:,.1f} (dict {ref:,.1f}, allowed -{max_regression:.0%})"
+            )
+    return failures
 
 
 def compare_against(
@@ -519,6 +651,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="allowed events/sec drop vs --against (default: 0.2)",
     )
     parser.add_argument(
+        "--max-columnar-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "fail if any columnar lane is more than this fraction slower "
+            "than its dict-reference twin in the same payload (target: 0.02)"
+        ),
+    )
+    parser.add_argument(
+        "--max-before-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "with --before: fail if any recorded speedup ratio falls "
+            "below 1 minus this fraction (hard regression gate)"
+        ),
+    )
+    parser.add_argument(
         "--max-shard-overhead",
         type=float,
         default=None,
@@ -540,11 +692,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         progress=print,
     )
 
+    before_failures: List[str] = []
     if args.before:
         with open(args.before, "r", encoding="utf-8") as handle:
             attach_before(payload, json.load(handle))
         for label, ratio in sorted(payload["speedup_vs_before"].items()):
             print(f"  speedup {label}: {ratio:.2f}x")
+        if args.max_before_regression is not None:
+            floor = 1.0 - args.max_before_regression
+            before_failures = [
+                f"{label} regressed vs --before: {ratio:.3f}x < {floor:.3f}x"
+                for label, ratio in sorted(
+                    payload["speedup_vs_before"].items()
+                )
+                if ratio < floor
+            ]
 
     out = args.out or "BENCH_hotpath.json"
     directory = os.path.dirname(out)
@@ -555,32 +717,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handle.write("\n")
     print(f"wrote {out}")
 
+    # Every requested gate is evaluated so one failure does not mask
+    # another; the exit code aggregates them at the end.
+    all_failures: List[str] = list(before_failures)
+
+    if args.max_columnar_regression is not None:
+        failures = columnar_regressions(payload, args.max_columnar_regression)
+        all_failures.extend(failures)
+        if not failures:
+            print(
+                f"columnar lanes within {args.max_columnar_regression:.0%} "
+                "of their dict-reference twins"
+            )
+
     if args.max_shard_overhead is not None:
         overhead = payload["suites"]["shard"].get("k1_overhead")
         if overhead is not None and overhead > args.max_shard_overhead:
-            print(
-                f"FAIL: K=1 sharded overhead {overhead:+.1%} exceeds "
-                f"{args.max_shard_overhead:.0%} of the single-channel run",
-                file=sys.stderr,
+            all_failures.append(
+                f"K=1 sharded overhead {overhead:+.1%} exceeds "
+                f"{args.max_shard_overhead:.0%} of the single-channel run"
             )
-            return 1
-        print(
-            f"K=1 sharded overhead {overhead:+.1%} "
-            f"(allowed: {args.max_shard_overhead:.0%})"
-        )
+        else:
+            print(
+                f"K=1 sharded overhead {overhead:+.1%} "
+                f"(allowed: {args.max_shard_overhead:.0%})"
+            )
 
     if args.against:
         with open(args.against, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
         failures = compare_against(payload, baseline, args.max_regression)
-        for failure in failures:
+        all_failures.extend(failures)
+        if not failures:
+            print(
+                f"within {args.max_regression:.0%} of baseline "
+                f"{args.against} ({baseline.get('git_rev', '?')})"
+            )
+
+    if all_failures:
+        for failure in all_failures:
             print(f"FAIL: {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print(
-            f"within {args.max_regression:.0%} of baseline "
-            f"{args.against} ({baseline.get('git_rev', '?')})"
-        )
+        return 1
     return 0
 
 

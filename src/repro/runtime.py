@@ -36,8 +36,8 @@ from repro.resilience import build_client_resilience, resilience_seed
 from repro.server.backend import ServerBackend, SingleChannelBackend
 from repro.server.broadcast import ProgramBuilder
 from repro.server.database import Database
+from repro.server.itemstate import ItemStateStore, make_item_state
 from repro.server.transactions import TransactionEngine
-from repro.server.versions import VersionStore
 from repro.sim.engine import Environment
 from repro.stats.metrics import MetricsRegistry
 
@@ -110,6 +110,7 @@ class Simulation:
         report_schedule: Optional[ReportSchedule] = None,
         interleaved_server: bool = False,
         tracer: Optional[Tracer] = None,
+        columnar: bool = True,
     ) -> None:
         params.validate()
         self.params = params
@@ -141,11 +142,24 @@ class Simulation:
         for scheme in self.schemes:
             requirements = requirements.merge(scheme.requirements())
 
-        self.version_store: Optional[VersionStore] = None
-        if requirements.needs_old_versions:
-            self.version_store = VersionStore(
-                self.database, retention=params.server.retention
-            )
+        # One item-state store per run (the seam of DESIGN §14).  The
+        # old-version view (``version_store``) stays None for schemes
+        # that broadcast no old versions -- the builder keys SGT control
+        # sizing and has_old pointers off that -- while the store itself
+        # always exists so record/report assembly can use its columns.
+        self.item_state: ItemStateStore = make_item_state(
+            self.database,
+            retention=(
+                params.server.retention
+                if requirements.needs_old_versions
+                else 0
+            ),
+            columnar=columnar,
+            items_per_bucket=params.server.items_per_bucket,
+        )
+        self.version_store: Optional[ItemStateStore] = (
+            self.item_state if requirements.needs_old_versions else None
+        )
 
         self.engine = TransactionEngine(
             params.server,
@@ -162,6 +176,7 @@ class Simulation:
             schedule=schedule,
             requirements=requirements,
             tracer=tracer,
+            item_state=self.item_state,
         )
 
         # -- air interface and clients ------------------------------------------

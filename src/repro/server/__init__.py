@@ -18,16 +18,21 @@ Everything the paper assumes exists on the stationary server side:
 """
 
 from repro.server.database import Database, Version
+from repro.server.itemstate import ItemStateStore, make_item_state
 from repro.server.transactions import CycleOutcome, ServerTransaction, TransactionEngine
 from repro.server.versions import VersionStore
+from repro.server.columnar import ColumnarVersionStore
 from repro.server.broadcast import ProgramBuilder
 
 __all__ = [
+    "ColumnarVersionStore",
     "CycleOutcome",
     "Database",
+    "ItemStateStore",
     "ProgramBuilder",
     "ServerTransaction",
     "TransactionEngine",
     "Version",
     "VersionStore",
+    "make_item_state",
 ]

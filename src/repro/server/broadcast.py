@@ -27,13 +27,14 @@ from repro.core.control import (
     BroadcastRequirements,
     ControlInfo,
     InvalidationReport,
+    report_from_updates,
 )
 from repro.graph.sgraph import GraphDiff
 from repro.obs.trace import EV_PROGRAM_BUILD, Tracer, gate
 from repro.server.database import Database
+from repro.server.itemstate import ItemStateStore
 from repro.server.sizing import SizeModel
 from repro.server.transactions import CycleOutcome
-from repro.server.versions import VersionStore
 
 
 def bucket_of_item(item: int, items_per_bucket: int) -> int:
@@ -49,28 +50,45 @@ class ProgramBuilder:
     a *persistent* per-item slot index and copy-on-writes only the
     buckets whose records actually changed that cycle -- the items the
     commit outcome updated plus the items whose on-air old-version set
-    changed (supersedure or retention eviction, tracked by the
-    :class:`VersionStore`).  The clustered organization interleaves old
+    changed (supersedure or retention eviction, tracked by the item-state
+    store's dirty feed).  The clustered organization interleaves old
     versions with the data, shifting positions whenever the retained set
     changes, and keeps the full per-cycle rebuild.  ``incremental=False``
     forces the full rebuild everywhere; the differential test suite and
     the ``repro bench hotpath`` suite compare the two paths.
+
+    When ``item_state`` is a columnar store (``item_state.columnar``),
+    record construction and report-bucket projection run off its dense
+    arrays instead of per-item version-chain searches; the dict-backed
+    reference path is bit-identical (pinned by the columnar oracle
+    suite).  ``version_store`` remains the old-version store and is
+    ``None`` for schemes that broadcast no old versions -- it may be the
+    same object as ``item_state``.
     """
 
     def __init__(
         self,
         params: ServerParameters,
         database: Database,
-        version_store: Optional[VersionStore] = None,
+        version_store: Optional[ItemStateStore] = None,
         schedule: Optional[Schedule] = None,
         requirements: Optional[BroadcastRequirements] = None,
         bits_per_unit: int = 32,
         tracer: Optional[Tracer] = None,
         incremental: bool = True,
+        item_state: Optional[ItemStateStore] = None,
     ) -> None:
         self.params = params
         self.database = database
         self.version_store = version_store
+        self.item_state = item_state if item_state is not None else version_store
+        #: The columnar store to read fast paths off, or None for the
+        #: dict-backed reference path.
+        self._columnar = (
+            self.item_state
+            if self.item_state is not None and self.item_state.columnar
+            else None
+        )
         self.schedule = schedule or FlatSchedule(params.broadcast_size)
         self.requirements = requirements or BroadcastRequirements()
         self.size_model = SizeModel(params, bits_per_unit=bits_per_unit)
@@ -102,16 +120,20 @@ class ProgramBuilder:
     ) -> InvalidationReport:
         if outcome is None:
             return InvalidationReport(cycle=cycle)
-        buckets = frozenset(
-            bucket_of_item(item, self.params.items_per_bucket)
-            for item in outcome.updated_items
+        store = self._columnar
+        buckets_of = (
+            store.buckets_of
+            if store is not None and store.has_bucket_column
+            else None
         )
-        first_writers = dict(outcome.first_writers) if self.requirements.needs_sgt else {}
-        return InvalidationReport(
+        return report_from_updates(
             cycle=cycle,
             updated_items=outcome.updated_items,
-            first_writers=first_writers,
-            updated_buckets=buckets,
+            first_writers=(
+                outcome.first_writers if self.requirements.needs_sgt else None
+            ),
+            items_per_bucket=self.params.items_per_bucket,
+            buckets_of=buckets_of,
         )
 
     def _control_units(self, report: InvalidationReport, diff: Optional[GraphDiff]) -> int:
@@ -151,6 +173,11 @@ class ProgramBuilder:
     def _old_records(self) -> List[OldVersionRecord]:
         """All retained versions, newest supersedure first (Figure 2(b))."""
         assert self.version_store is not None
+        if self.version_store.columnar:
+            # The columnar store keeps the directory incrementally, in
+            # exactly this order (cohorts by descending supersedure
+            # cycle, items ascending within a cohort).
+            return list(self.version_store.overflow_records())
         records: List[Tuple[int, OldVersionRecord]] = []
         for item, retained in self.version_store.all_on_air().items():
             for rv in retained:
@@ -256,7 +283,23 @@ class ProgramBuilder:
 
     def _flat_data_buckets(self, order: List[int], cycle: int) -> List[Bucket]:
         per_bucket = self.params.items_per_bucket
+        store = self._columnar
         buckets: List[Bucket] = []
+        if store is not None:
+            needs_old = (
+                self.version_store is not None
+                and self.requirements.needs_old_versions
+            )
+            records_for = store.records_for
+            for index, start in enumerate(range(0, len(order), per_bucket)):
+                chunk = order[start : start + per_bucket]
+                buckets.append(
+                    Bucket(
+                        index=index,
+                        records=records_for(chunk, cycle, needs_old),
+                    )
+                )
+            return buckets
         for index, start in enumerate(range(0, len(order), per_bucket)):
             chunk = order[start : start + per_bucket]
             records = tuple(self._item_record(item, cycle) for item in chunk)
@@ -304,11 +347,20 @@ class ProgramBuilder:
                 buckets = list(buckets)
                 touched: set = set()
                 layout = self._layout
+                store = self._columnar
+                needs_old = (
+                    self.version_store is not None
+                    and self.requirements.needs_old_versions
+                )
                 for item in changed:
                     offsets = layout.get(item)
                     if offsets is None:
                         continue  # updated item is not on the air
-                    records[item] = self._item_record(item, cycle)
+                    records[item] = (
+                        store.item_record(item, cycle, needs_old)
+                        if store is not None
+                        else self._item_record(item, cycle)
+                    )
                     touched.update(offsets)
                 for offset in touched:
                     chunk = self._bucket_chunks[offset]
@@ -340,6 +392,11 @@ class ProgramBuilder:
         records share bucket capacity, so positions drift between cycles.
         """
         assert self.version_store is not None
+        # Drain the change feed even though clustered rebuilds fully:
+        # only the incremental flat/overflow path consumes it, so without
+        # this the dirty set grows for the whole run.
+        self.version_store.consume_dirty()
+        store = self._columnar
         per_bucket = self.params.items_per_bucket
         buckets: List[Bucket] = []
         cur_records: List[ItemRecord] = []
@@ -372,7 +429,11 @@ class ProgramBuilder:
             needed = 1 + len(olds)
             if used and used + needed > per_bucket:
                 flush()
-            cur_records.append(self._item_record(item, cycle))
+            cur_records.append(
+                store.item_record(item, cycle, True)
+                if store is not None
+                else self._item_record(item, cycle)
+            )
             cur_old.extend(olds)
             used += needed
             if used >= per_bucket:

@@ -1,0 +1,336 @@
+"""Array-backed columnar item state (ROADMAP item 4).
+
+The reference :class:`~repro.server.versions.VersionStore` answers the
+program builder's per-item questions -- "what is the current value?",
+"does this item have old versions on the air?", "which versions expired
+this cycle?" -- by walking per-object dicts and version chains.  At
+10^5+ item databases that per-object churn dominates every cycle build.
+
+This store keeps the same state in dense columns, indexed by *dense id*
+(the item's rank in the store's sorted item slice):
+
+``_cur_cycle`` / ``_cur_value``
+    ``array('q')`` -- the version number (visibility cycle) and payload
+    of every item's current value, maintained by observing every
+    :meth:`Database.write`; an item record is two array reads instead
+    of a version-chain bisect.
+``_writers``
+    The last-writer transaction tags (object column; SGT's item tags).
+``_old_count``
+    ``bytearray`` -- the ``has_old_versions`` bits of Figure 2(b),
+    stored as retained-version counts so supersedure/eviction are
+    increments and the pointer bit is ``count > 0``.
+``_bucket_col``
+    ``array('l')`` -- each item's data-bucket (page) number, so
+    bucket-level invalidation reports are column lookups, not per-item
+    divisions.
+
+Old-version bookkeeping is organized by *supersedure cohort*: all
+versions superseded at cycle ``w`` expire together at ``w + retention``
+(the paper's "at cycle k discard the k - S version"), so eviction pops
+whole cohorts -- O(evicted), where the reference store re-scans every
+retained item each cycle -- and the overflow version directory
+(Figure 2(b): newest supersedure first) is the cached concatenation of
+cohorts in descending ``w``, rebuilt only when a cohort changes.
+
+Semantics are pinned to the reference store by the differential oracle
+(``tests/server/test_columnar_oracle.py``) and the Hypothesis suite
+(``tests/server/test_columnar_store.py``); the seam contract this store
+assumes is documented in :mod:`repro.server.itemstate`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.broadcast.program import ItemRecord, OldVersionRecord
+from repro.server.database import Database, Version
+from repro.server.itemstate import ItemStateStore
+from repro.server.versions import RetainedVersion
+
+
+class ColumnarVersionStore(ItemStateStore):
+    """Dense-array item state over (a slice of) the item universe.
+
+    Parameters
+    ----------
+    database:
+        The underlying versioned store (ground truth for values).
+    retention:
+        ``S`` / ``V`` -- how many cycles an overwritten value remains
+        broadcast; ``0`` disables old versions entirely.
+    items:
+        The item slice this store owns (a shard's partition); ``None``
+        means the whole universe ``1..database.size``.  Only owned items
+        occupy columns; writes to other items are ignored.
+    items_per_bucket:
+        When given, precompute the per-item data-bucket column used for
+        bucket-level invalidation reports.
+    """
+
+    columnar = True
+
+    def __init__(
+        self,
+        database: Database,
+        retention: int,
+        items: Optional[Iterable[int]] = None,
+        items_per_bucket: Optional[int] = None,
+    ) -> None:
+        if retention < 0:
+            raise ValueError(f"retention must be non-negative, got {retention}")
+        self.database = database
+        self.retention = retention
+
+        if items is None:
+            # Contiguous universe: dense id is plain offset arithmetic.
+            self._items: Tuple[int, ...] = tuple(range(1, database.size + 1))
+            self._base: Optional[int] = 1
+            self._index: Dict[int, int] = {}
+        else:
+            owned = sorted(set(items))
+            if not owned:
+                raise ValueError("a columnar store needs at least one item")
+            self._items = tuple(owned)
+            first, last = owned[0], owned[-1]
+            if last - first + 1 == len(owned):
+                # Contiguous slice (range partitioner): offset arithmetic.
+                self._base = first
+                self._index = {}
+            else:
+                self._base = None
+                self._index = {item: idx for idx, item in enumerate(owned)}
+
+        n = len(self._items)
+        self._cur_cycle = array("q", bytes(8 * n))
+        self._cur_value = array("q", bytes(8 * n))
+        self._writers: List[Optional[object]] = [None] * n
+        self._old_count = bytearray(n)
+        for idx, item in enumerate(self._items):
+            current = database.current(item)
+            self._cur_cycle[idx] = current.cycle
+            self._cur_value[idx] = current.value
+            self._writers[idx] = current.writer
+
+        self._bucket_col: Optional[array] = None
+        if items_per_bucket is not None and items_per_bucket > 0:
+            self._bucket_col = array(
+                "l",
+                ((item - 1) // items_per_bucket for item in self._items),
+            )
+
+        #: item -> retained old versions, oldest first (same shape as the
+        #: reference store; the objects surface through on_air and the
+        #: overflow directory, so equality is structural).
+        self._retained: Dict[int, List[RetainedVersion]] = {}
+        #: supersedure cycle w -> that cohort's versions, in call order.
+        #: The whole cohort expires at w + retention.
+        self._cohorts: Dict[int, List[RetainedVersion]] = {}
+        #: Cached overflow directory (Figure 2(b) order); None = stale.
+        self._directory: Optional[Tuple[OldVersionRecord, ...]] = None
+        self._total_retained = 0
+        self._dirty: Set[int] = set()
+
+        database.add_observer(self)
+
+    # -- dense-id mapping ---------------------------------------------------
+
+    def dense_index(self, item: int) -> int:
+        """Dense id of ``item``; raises ``KeyError`` for unowned items."""
+        if self._base is not None:
+            idx = item - self._base
+            if 0 <= idx < len(self._items):
+                return idx
+            raise KeyError(f"Item {item} not owned by this store")
+        return self._index[item]
+
+    def item_at(self, index: int) -> int:
+        """Inverse of :meth:`dense_index` (for the bijection tests)."""
+        return self._items[index]
+
+    def owns(self, item: int) -> bool:
+        if self._base is not None:
+            return 0 <= item - self._base < len(self._items)
+        return item in self._index
+
+    @property
+    def items(self) -> Tuple[int, ...]:
+        return self._items
+
+    # -- current-value columns ----------------------------------------------
+
+    def note_write(self, version: Version) -> None:
+        """Database write observer: refresh the current-value columns."""
+        try:
+            idx = self.dense_index(version.item)
+        except KeyError:
+            return  # another shard's item
+        self._cur_cycle[idx] = version.cycle
+        self._cur_value[idx] = version.value
+        self._writers[idx] = version.writer
+
+    def item_record(self, item: int, cycle: int, needs_old: bool) -> ItemRecord:
+        """The on-air record of ``item`` in the cycle-``cycle`` snapshot.
+
+        The server builds cycle ``c`` after the commits visible at ``c``,
+        so the columns normally *are* the snapshot; the rare case of a
+        write already visible beyond ``cycle`` (tests poking the database
+        directly) falls back to the version-chain search.
+        """
+        idx = self.dense_index(item)
+        if self._cur_cycle[idx] > cycle:
+            version = self.database.value_at(item, cycle)
+            return ItemRecord(
+                item=item,
+                value=version.value,
+                version=version.cycle,
+                writer=version.writer,
+                has_old_versions=needs_old and self._old_count[idx] > 0,
+            )
+        return ItemRecord(
+            item=item,
+            value=self._cur_value[idx],
+            version=self._cur_cycle[idx],
+            writer=self._writers[idx],
+            has_old_versions=needs_old and self._old_count[idx] > 0,
+        )
+
+    def records_for(
+        self, chunk: Sequence[int], cycle: int, needs_old: bool
+    ) -> Tuple[ItemRecord, ...]:
+        """One bucket's records, straight off the columns.
+
+        This is the bulk path (full rebuilds prime every bucket; the
+        10^5-item lane lives here), so the per-item method-call chain of
+        :meth:`item_record` is hoisted into local bindings; chunks come
+        from the builder's layout and are owned by construction.
+        """
+        base = self._base
+        index = self._index
+        cur_cycle = self._cur_cycle
+        cur_value = self._cur_value
+        writers = self._writers
+        old_count = self._old_count
+        slow = self.item_record
+        make = ItemRecord
+        out = []
+        append = out.append
+        for item in chunk:
+            idx = item - base if base is not None else index[item]
+            version = cur_cycle[idx]
+            if version > cycle:
+                append(slow(item, cycle, needs_old))
+            else:
+                append(
+                    make(
+                        item=item,
+                        value=cur_value[idx],
+                        version=version,
+                        writer=writers[idx],
+                        has_old_versions=needs_old and old_count[idx] > 0,
+                    )
+                )
+        return tuple(out)
+
+    def has_old(self, item: int) -> bool:
+        return self._old_count[self.dense_index(item)] > 0
+
+    @property
+    def has_bucket_column(self) -> bool:
+        return self._bucket_col is not None
+
+    def buckets_of(self, items: Iterable[int]) -> FrozenSet[int]:
+        """Data-bucket (page) numbers of ``items`` via the bucket column."""
+        if self._bucket_col is None:
+            raise ValueError("store built without items_per_bucket")
+        column = self._bucket_col
+        dense = self.dense_index
+        return frozenset(column[dense(item)] for item in items)
+
+    # -- old-version bookkeeping --------------------------------------------
+
+    def record_supersedure(self, old: Version, superseded_at: int) -> None:
+        if self.retention == 0:
+            return
+        idx = self.dense_index(old.item)
+        rv = RetainedVersion(version=old, superseded_at=superseded_at)
+        self._retained.setdefault(old.item, []).append(rv)
+        self._cohorts.setdefault(superseded_at, []).append(rv)
+        count = self._old_count[idx] + 1
+        if count > 0xFF:
+            raise ValueError(
+                f"more than 255 retained versions for item {old.item}; "
+                "retention this deep needs a wider has-old column"
+            )
+        self._old_count[idx] = count
+        self._total_retained += 1
+        self._dirty.add(old.item)
+        self._directory = None
+
+    def evict_expired(self, current_cycle: int) -> int:
+        retention = self.retention
+        expired = sorted(
+            w for w in self._cohorts if current_cycle - w >= retention
+        )
+        evicted = 0
+        for w in expired:
+            for rv in self._cohorts.pop(w):
+                item = rv.version.item
+                bucket = self._retained[item]
+                front = bucket.pop(0)
+                assert front is rv, "cohort eviction out of supersedure order"
+                if not bucket:
+                    del self._retained[item]
+                self._old_count[self.dense_index(item)] -= 1
+                self._dirty.add(item)
+                evicted += 1
+        if evicted:
+            self._total_retained -= evicted
+            self._directory = None
+        return evicted
+
+    def consume_dirty(self) -> Set[int]:
+        dirty, self._dirty = self._dirty, set()
+        return dirty
+
+    def on_air(self, item: int) -> List[RetainedVersion]:
+        return list(self._retained.get(item, ()))
+
+    def all_on_air(self) -> Dict[int, List[RetainedVersion]]:
+        return {item: list(rvs) for item, rvs in self._retained.items()}
+
+    def overflow_records(self) -> Tuple[OldVersionRecord, ...]:
+        """The overflow version directory, newest supersedure first
+        (Figure 2(b)) -- the cached cohort concatenation."""
+        if self._directory is None:
+            records: List[OldVersionRecord] = []
+            for w in sorted(self._cohorts, reverse=True):
+                cohort = sorted(
+                    self._cohorts[w], key=lambda rv: rv.version.item
+                )
+                records.extend(
+                    OldVersionRecord(
+                        item=rv.version.item,
+                        value=rv.version.value,
+                        version=rv.version.cycle,
+                        valid_to=rv.valid_to,
+                        writer=rv.version.writer,
+                    )
+                    for rv in cohort
+                )
+            self._directory = tuple(records)
+        return self._directory
+
+    def best_version_at(self, item: int, cycle: int) -> Optional[Version]:
+        current = self.database.current(item)
+        if current.cycle <= cycle:
+            return current
+        for rv in reversed(self._retained.get(item, [])):
+            if rv.covers(cycle):
+                return rv.version
+        return None
+
+    @property
+    def total_retained(self) -> int:
+        return self._total_retained

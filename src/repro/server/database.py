@@ -68,6 +68,18 @@ class Database:
             item: [Version(item=item, cycle=0, value=0, writer=None)]
             for item in range(1, size + 1)
         }
+        #: Write observers (columnar stores keeping current-value columns
+        #: in sync); see :meth:`add_observer`.
+        self._observers: List[object] = []
+
+    def add_observer(self, observer: object) -> None:
+        """Register ``observer.note_write(version)`` to run on every write.
+
+        This is how array-backed item-state stores stay coherent without
+        the transaction engine knowing about them -- any write, including
+        ones tests make directly, reaches every attached store.
+        """
+        self._observers.append(observer)
 
     @property
     def size(self) -> int:
@@ -105,6 +117,8 @@ class Database:
             writer=writer,
         )
         chain.append(version)
+        for observer in self._observers:
+            observer.note_write(version)
         return version
 
     # -- reads ------------------------------------------------------------

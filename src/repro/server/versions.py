@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.server.database import Database, Version
+from repro.server.itemstate import ItemStateStore
 
 
 @dataclass(frozen=True)
@@ -44,8 +45,14 @@ class RetainedVersion:
         return self.valid_from <= cycle <= self.valid_to
 
 
-class VersionStore:
+class VersionStore(ItemStateStore):
     """Tracks which old versions are on the air at each cycle.
+
+    This is the dict-backed *reference* implementation of the
+    :class:`~repro.server.itemstate.ItemStateStore` seam (``columnar ==
+    False``): it reads current values straight off the database, so
+    :meth:`note_write` is a no-op.  The array-backed twin lives in
+    :mod:`repro.server.columnar`.
 
     Parameters
     ----------
@@ -56,6 +63,8 @@ class VersionStore:
         remains broadcast.  ``0`` disables old versions entirely
         (degenerates to the invalidation-only broadcast content).
     """
+
+    columnar = False
 
     def __init__(self, database: Database, retention: int) -> None:
         if retention < 0:

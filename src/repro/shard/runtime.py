@@ -50,8 +50,8 @@ from repro.runtime import SimulationResult
 from repro.server.backend import ServerBackend, SingleChannelBackend
 from repro.server.broadcast import ProgramBuilder
 from repro.server.database import Database
+from repro.server.itemstate import ItemStateStore, make_item_state
 from repro.server.transactions import TransactionEngine
-from repro.server.versions import VersionStore
 from repro.shard.client import ShardedClient
 from repro.shard.partition import Partitioner, make_partitioner
 from repro.shard.scheme import CONSISTENCY_MODES, MultiShardScheme
@@ -89,7 +89,7 @@ class ShardState:
     channel: BroadcastChannel
     builder: ProgramBuilder
     engine: Optional[TransactionEngine]
-    version_store: Optional[VersionStore]
+    version_store: Optional[ItemStateStore]
     retention: int
     #: Server transactions committed per cycle on this shard.
     txn_count: int
@@ -246,6 +246,7 @@ class ShardedSimulation:
         report_schedule: Optional[ReportSchedule] = None,
         tracer: Optional[Tracer] = None,
         shard_retention: Optional[Sequence[int]] = None,
+        columnar: bool = True,
     ) -> None:
         params.validate()
         if num_shards < 1:
@@ -345,9 +346,18 @@ class ShardedSimulation:
                 if shard_retention is not None
                 else params.server.retention
             )
-            version_store: Optional[VersionStore] = None
-            if requirements.needs_old_versions:
-                version_store = VersionStore(self.database, retention=retention)
+            # One item-state store per shard over its own item slice, so K
+            # stores together hold one universe's worth of columns.
+            item_state = make_item_state(
+                self.database,
+                retention=retention if requirements.needs_old_versions else 0,
+                columnar=columnar,
+                items=shard_items[k] if num_shards > 1 else None,
+                items_per_bucket=params.server.items_per_bucket,
+            )
+            version_store: Optional[ItemStateStore] = (
+                item_state if requirements.needs_old_versions else None
+            )
             engine: Optional[TransactionEngine] = None
             if num_shards == 1:
                 engine = TransactionEngine(
@@ -382,6 +392,7 @@ class ShardedSimulation:
                 ),
                 requirements=requirements,
                 tracer=tracer,
+                item_state=item_state,
             )
             channel = BroadcastChannel(self.env)
             self.shards.append(
@@ -540,7 +551,7 @@ class ShardedSimulation:
         return self.shards[0].channel
 
     @property
-    def version_store(self) -> Optional[VersionStore]:
+    def version_store(self) -> Optional[ItemStateStore]:
         return self.shards[0].version_store
 
     @property
