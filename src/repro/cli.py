@@ -25,6 +25,9 @@ Subcommands
     byte-identical output, ``--cache DIR`` makes sweeps resumable, and
     ``--check`` runs the parallel-vs-serial determinism oracle instead
     (see :mod:`repro.experiments.parallel`).
+``serve`` / ``listen``
+    Live mode (:mod:`repro.live`): air a real broadcast over TCP /
+    join one as a listening client.
 ``schemes``
     List the registered scheme labels.
 ``sizes``
@@ -386,6 +389,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="allowed K=1 sharded slowdown vs single-channel (target: 0.02)",
     )
+    hot.add_argument(
+        "--max-columnar-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "allowed columnar-lane slowdown vs the dict-reference twin "
+            "(target: 0.02)"
+        ),
+    )
+    hot.add_argument(
+        "--max-before-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="with --before: allowed drop in any recorded speedup ratio",
+    )
+    hot.add_argument(
+        "--profile-top", type=int, default=15, help="profile rows kept"
+    )
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's figures and tables"
@@ -453,6 +476,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="with --check: write serial/parallel CSVs (and diffs) here",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="air a live broadcast over TCP (see repro.live)",
+    )
+    serve.add_argument(
+        "--scheme",
+        default="sgt+cache",
+        choices=sorted(SCHEME_FACTORIES),
+        help="scheme whose broadcast requirements the server airs",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7787, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--slot-seconds",
+        type=float,
+        default=0.0,
+        help="wall-clock pacing per broadcast slot (0 = full speed)",
+    )
+    serve.add_argument("--cycles", type=int, default=120)
+    serve.add_argument("--warmup", type=int, default=10)
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="advertised population size (rides in the HELLO frame)",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--broadcast-size", type=int, default=1000)
+    serve.add_argument("--update-range", type=int, default=500)
+    serve.add_argument("--updates", type=int, default=50)
+    serve.add_argument("--offset", type=int, default=100)
+    serve.add_argument("--retention", type=int, default=16)
+    serve.add_argument("--ops", type=int, default=16)
+    serve.add_argument("--read-range", type=int, default=250)
+    serve.add_argument("--cache-size", type=int, default=125)
+    serve.add_argument("--think-time", type=float, default=2.0)
+    serve.add_argument(
+        "--report-window", type=int, default=0, help="w-window retransmission"
+    )
+    serve.add_argument("--no-columnar", action="store_true")
+
+    listen = sub.add_parser(
+        "listen",
+        help="join a live broadcast as one client (see repro.live)",
+    )
+    listen.add_argument("--host", default="127.0.0.1")
+    listen.add_argument("--port", type=int, default=7787)
+    listen.add_argument(
+        "--scheme",
+        default=None,
+        choices=sorted(SCHEME_FACTORIES),
+        help="override the scheme advertised in the server's HELLO",
+    )
+    listen.add_argument("--client-id", type=int, default=0)
+    listen.add_argument(
+        "--rng-seed",
+        type=int,
+        default=None,
+        help="workload RNG seed (default: derived from the served seed)",
     )
 
     sub.add_parser("schemes", help="list scheme labels")
@@ -906,6 +992,17 @@ def _command_bench(args: argparse.Namespace) -> int:
         argv += ["--max-regression", str(args.max_regression)]
         if args.max_shard_overhead is not None:
             argv += ["--max-shard-overhead", str(args.max_shard_overhead)]
+        if args.max_columnar_regression is not None:
+            argv += [
+                "--max-columnar-regression",
+                str(args.max_columnar_regression),
+            ]
+        if args.max_before_regression is not None:
+            argv += [
+                "--max-before-regression",
+                str(args.max_before_regression),
+            ]
+        argv += ["--profile-top", str(args.profile_top)]
         return hotpath.main(argv)
 
     from repro.obs import bench
@@ -918,6 +1015,124 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.trace_sample:
         argv += ["--trace-sample", args.trace_sample]
     return bench.main(argv)
+
+
+def _serve_params(args: argparse.Namespace) -> ModelParameters:
+    return (
+        ModelParameters()
+        .with_server(
+            broadcast_size=args.broadcast_size,
+            update_range=args.update_range,
+            updates_per_cycle=args.updates,
+            offset=args.offset,
+            retention=args.retention,
+        )
+        .with_client(
+            ops_per_query=args.ops,
+            read_range=args.read_range,
+            cache_size=args.cache_size,
+            think_time=args.think_time,
+        )
+        .with_sim(
+            num_cycles=args.cycles,
+            warmup_cycles=args.warmup,
+            num_clients=args.clients,
+            seed=args.seed,
+        )
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.live.clock import ImmediateClock, RealTimeClock
+    from repro.live.server import LiveBroadcastServer
+
+    params = _serve_params(args)
+    scheme = scheme_factory(args.scheme)()
+    clock = (
+        RealTimeClock(args.slot_seconds)
+        if args.slot_seconds > 0
+        else ImmediateClock()
+    )
+    try:
+        server = LiveBroadcastServer(
+            params,
+            scheme.requirements(),
+            scheme_label=args.scheme,
+            host=args.host,
+            port=args.port,
+            clock=clock,
+            columnar=not args.no_columnar,
+            report_schedule=ReportSchedule(window=args.report_window),
+        )
+    except ValueError as error:
+        print(f"serve: {error}")
+        return 2
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(
+            f"airing {args.scheme} on {server.host}:{server.port} "
+            f"({params.sim.num_cycles} cycles; ctrl-c stops cleanly)"
+        )
+        try:
+            await server.run()
+        finally:
+            await server.stop()
+
+    asyncio.run(_serve())
+    print(
+        f"aired {server.backend.cycles_completed} cycle(s), "
+        f"end time {server.end_time:.0f} slots"
+    )
+    return 0
+
+
+def _command_listen(args: argparse.Namespace) -> int:
+    import asyncio
+    import random as random_module
+
+    from repro.live.client import LiveClient
+
+    rng = (
+        random_module.Random(args.rng_seed)
+        if args.rng_seed is not None
+        else None
+    )
+    client = LiveClient(
+        args.host,
+        args.port,
+        scheme=args.scheme,
+        client_id=args.client_id,
+        rng=rng,
+    )
+    try:
+        result = asyncio.run(client.run())
+    except KeyboardInterrupt:
+        print("listen: interrupted before the broadcast ended")
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(f"listen: {error}")
+        return 1
+    ratio = result.metrics.get_ratio("attempt.committed")
+    rows = [
+        ["scheme", result.scheme_label],
+        ["cycles heard", str(result.cycles_heard)],
+        ["cycles missed", str(result.cycles_missed)],
+        ["attempts", str(ratio.total if ratio else 0)],
+        ["committed", str(ratio.hits if ratio else 0)],
+        ["end time (slots)", f"{result.end_time:.0f}"],
+    ]
+    print(render_table(["measure", "value"], rows, title="live session"))
+    return 0
 
 
 def _command_schemes() -> int:
@@ -960,6 +1175,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_bench(args)
     if args.command == "experiments":
         return _command_experiments(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "listen":
+        return _command_listen(args)
     if args.command == "schemes":
         return _command_schemes()
     if args.command == "sizes":

@@ -52,8 +52,14 @@ from repro.runtime import SimulationResult
 from repro.stats.metrics import MetricsRegistry
 
 
-class _Member:
-    """One client's generator, clock and channel under the driver."""
+class Member:
+    """One client's generator, clock and channel under the driver.
+
+    Also the protocol driver of the live client (:mod:`repro.live`),
+    which replays decoded wire cycles through the same kernel-exact
+    scheduling rules -- the extraction of the client protocol logic
+    from the DES engine that ROADMAP item 2 calls for.
+    """
 
     __slots__ = ("client", "channel", "env", "gen", "wake", "steps")
 
@@ -222,7 +228,7 @@ class CohortSimulation:
         client_id: int,
         master: random.Random,
         injector: Optional[FaultInjector],
-    ) -> _Member:
+    ) -> Member:
         params = self.params
         disconnect: Optional[DisconnectionModel] = None
         if self.disconnect_factory is not None:
@@ -254,4 +260,4 @@ class CohortSimulation:
             client_id=client_id,
             warmup_cycles=params.sim.warmup_cycles,
         )
-        return _Member(client, channel, env)
+        return Member(client, channel, env)

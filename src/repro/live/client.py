@@ -1,0 +1,455 @@
+"""The live client: scheme protocol logic off decoded wire frames.
+
+The protocol stack is reused unmodified: a decoded cycle becomes a
+:class:`~repro.broadcast.program.BroadcastProgram`, installed into the
+same :class:`~repro.cohort.channel.CohortChannel` surface the cohort
+replayer drives, and the unmodified
+:class:`~repro.client.machine.BroadcastClient` (invalidation /
+multiversion / SGT resync, caches, disconnect models, warmup
+accounting) advances through the kernel-exact
+:class:`~repro.cohort.engine.Member` scheduling rules.  Time is
+*logical*: every control frame carries its cycle's cumulative start
+slot, so client behaviour is independent of the wall-clock pace -- a
+loopback run with client-side fault pipelines is bit-identical to its
+DES twin (the live oracle's exact lanes).
+
+Wire damage (the chaos proxy, or a genuinely bad link) maps onto the
+sim's fault semantics at reassembly:
+
+* a corrupt or missing CONTROL frame is a lost control segment --
+  ``on_signal_lost`` fires, the cycle is missed;
+* a corrupt or missing DATA/OVERFLOW frame marks its slot lost; the
+  bucket's *position* is back-filled from the previous cycle's program
+  (item positions are cycle-invariant in the flat and overflow
+  organizations), and lost slots are never receivable, so stale
+  back-fill content can never surface in a read;
+* in the clustered organization positions shift every cycle, so any
+  lost data slot conservatively degrades to a missed cycle;
+* wholly missing cycles (every frame dropped) are signalled lost, in
+  order, when the next decodable cycle arrives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.broadcast.program import (
+    BroadcastProgram,
+    Bucket,
+    MultiversionOrganization,
+)
+from repro.client.disconnect import DisconnectionModel
+from repro.client.machine import BroadcastClient
+from repro.cohort.channel import CohortChannel
+from repro.cohort.engine import Member
+from repro.cohort.shim import CohortEnv
+from repro.config import ModelParameters
+from repro.core.base import Scheme
+from repro.experiments.schemes import scheme_factory as lookup_scheme
+from repro.faults.models import FaultModel
+from repro.live.codec import (
+    CONTROL,
+    DATA,
+    END,
+    HELLO,
+    OVERFLOW,
+    ControlHeader,
+    CycleCodec,
+    Frame,
+    FrameCorrupt,
+    FrameError,
+    FrameStream,
+    WireProfile,
+    decode_json_payload,
+)
+from repro.live.server import params_from_wire, requirements_from_wire
+from repro.stats.metrics import (
+    FAULT_REPORTS_MISSED,
+    FAULT_SLOTS_LOST,
+    MetricsRegistry,
+)
+
+
+@dataclass
+class LiveClientResult:
+    """What one listener brings home from a broadcast."""
+
+    scheme_label: str
+    params: ModelParameters
+    metrics: MetricsRegistry
+    client: BroadcastClient
+    cycles_heard: int = 0
+    cycles_missed: int = 0
+    end_time: float = 0.0
+
+
+@dataclass
+class _PendingCycle:
+    """Frames of one cycle as they arrive off the stream."""
+
+    cycle: int
+    header: Optional[ControlHeader] = None
+    control_corrupt: bool = False
+    data: Dict[int, Bucket] = dataclass_field(default_factory=dict)
+    overflow: Dict[int, Bucket] = dataclass_field(default_factory=dict)
+    corrupt_slots: set = dataclass_field(default_factory=set)
+
+    def complete(self) -> bool:
+        header = self.header
+        return (
+            header is not None
+            and not self.control_corrupt
+            and not self.corrupt_slots
+            and len(self.data) == header.num_data_buckets
+            and len(self.overflow) == header.num_overflow_buckets
+        )
+
+
+class LiveClient:
+    """One listener: connects, decodes, runs the client protocol.
+
+    With ``pipeline`` (client-side fault models, the sim's semantics)
+    the wire must be lossless and the run is bit-exact against the DES
+    twin; without one, wire damage itself supplies the cycle fates.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        scheme: Union[str, Scheme, None] = None,
+        client_id: int = 0,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        pipeline: Optional[Sequence[FaultModel]] = None,
+        disconnect: Optional[DisconnectionModel] = None,
+        params: Optional[ModelParameters] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._scheme_arg = scheme
+        self.client_id = client_id
+        self.rng = rng
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pipeline = pipeline
+        self.disconnect = disconnect
+        self._params_override = params
+
+        self.params: Optional[ModelParameters] = None
+        self.scheme_label = ""
+        self.codec: Optional[CycleCodec] = None
+        self.member: Optional[Member] = None
+        self.channel: Optional[CohortChannel] = None
+
+        self._cur: Optional[_PendingCycle] = None
+        self._last_cycle: Optional[int] = None
+        self._prev_program: Optional[BroadcastProgram] = None
+        self._next_start = 0.0
+        self._cycles_heard = 0
+        self._cycles_missed = 0
+        self._end_time: Optional[float] = None
+        self._done = False
+
+    # -- session setup -------------------------------------------------------
+
+    def _resolve_scheme(self, served_label: str) -> Scheme:
+        scheme = self._scheme_arg
+        if scheme is None:
+            scheme = served_label
+        if isinstance(scheme, str):
+            built = lookup_scheme(scheme)()
+        else:
+            built = scheme
+        return built
+
+    def _on_hello(self, payload: bytes) -> None:
+        hello = decode_json_payload(payload)
+        profile = WireProfile.from_wire(hello["profile"])
+        self.params = self._params_override or params_from_wire(
+            hello["params"]
+        )
+        served = requirements_from_wire(hello["requirements"])
+        scheme = self._resolve_scheme(hello.get("scheme") or "inval")
+        needed = scheme.requirements()
+        # The server must already be airing everything this scheme reads;
+        # merge raises on a conflicting multiversion organization.
+        merged = served.merge(needed)
+        if merged != served:
+            raise FrameError(
+                f"scheme {scheme.label!r} needs {needed} but the server "
+                f"airs only {served}"
+            )
+        self.scheme_label = scheme.label
+        self.codec = CycleCodec(profile)
+
+        rng = self.rng
+        if rng is None:
+            # Single-listener convenience: the same derivation as a
+            # one-client discrete run (engine draw first, then client 0).
+            master = random.Random(self.params.sim.seed)
+            master.getrandbits(64)
+            rng = random.Random(master.getrandbits(64))
+        env = CohortEnv()
+        self.channel = CohortChannel(
+            env,
+            self.metrics,
+            pipeline=self.pipeline,
+            client_id=self.client_id,
+        )
+        client = BroadcastClient(
+            env=env,
+            channel=self.channel,
+            scheme=scheme,
+            params=self.params.client,
+            metrics=self.metrics,
+            rng=rng,
+            disconnect=self.disconnect,
+            client_id=self.client_id,
+            warmup_cycles=self.params.sim.warmup_cycles,
+        )
+        self.member = Member(client, self.channel, env)
+        # Prime: parks on cycle_started, like the DES Initialize event.
+        self.member.advance()
+
+    # -- cycle reassembly ----------------------------------------------------
+
+    def _open_cycle(self, cycle: int) -> _PendingCycle:
+        if self._cur is not None and self._cur.cycle != cycle:
+            self._finalize_cycle()
+        if self._cur is None:
+            self._cur = _PendingCycle(cycle=cycle)
+        return self._cur
+
+    def _signal_missed(self, cycle: int) -> None:
+        member, channel = self.member, self.channel
+        assert member is not None and channel is not None
+        member.run_until(self._next_start)
+        member.env.now = self._next_start
+        channel.signal_lost(cycle)
+        self._cycles_missed += 1
+
+    def _finalize_cycle(self) -> None:
+        cur, self._cur = self._cur, None
+        if cur is None or self.member is None:
+            return
+        last = self._last_cycle
+        if last is not None and cur.cycle > last + 1:
+            if self.pipeline is not None:
+                raise FrameError(
+                    "lossy wire under a client-side fault pipeline; the "
+                    "exact lane requires a clean transport"
+                )
+            # Cycles with not a single frame heard are missed, in order.
+            for missing in range(last + 1, cur.cycle):
+                self.metrics.count(FAULT_REPORTS_MISSED)
+                self._signal_missed(missing)
+        self._last_cycle = cur.cycle
+
+        header = cur.header
+        if header is None or cur.control_corrupt:
+            if self.pipeline is not None:
+                raise FrameError(
+                    "lossy wire under a client-side fault pipeline; the "
+                    "exact lane requires a clean transport"
+                )
+            self.metrics.count(FAULT_REPORTS_MISSED)
+            self._signal_missed(cur.cycle)
+            return
+
+        start = float(header.start_slot)
+        data_start = header.control_slots + header.index_slots
+        overflow_start = data_start + header.num_data_buckets
+        lost: set = set(cur.corrupt_slots)
+        data: List[Bucket] = []
+        for off in range(header.num_data_buckets):
+            slot = data_start + off
+            bucket = cur.data.get(slot)
+            if bucket is None:
+                lost.add(slot)
+                bucket = self._backfill_data(header, off)
+                if bucket is None:
+                    if self.pipeline is not None:
+                        raise FrameError(
+                            "lossy wire under a client-side fault pipeline"
+                        )
+                    # No safe position knowledge: the cycle is missed,
+                    # anchored at the decoded start slot.
+                    self.metrics.count(FAULT_REPORTS_MISSED)
+                    member = self.member
+                    member.run_until(start)
+                    member.env.now = start
+                    self.channel.signal_lost(cur.cycle)
+                    self._cycles_missed += 1
+                    self._next_start = start + header.total_slots
+                    return
+            data.append(bucket)
+        overflow: List[Bucket] = []
+        for off in range(header.num_overflow_buckets):
+            slot = overflow_start + off
+            bucket = cur.overflow.get(slot)
+            if bucket is None:
+                lost.add(slot)
+                bucket = Bucket(index=off)
+            overflow.append(bucket)
+
+        assert self.codec is not None
+        program = self.codec.assemble(header, data, overflow)
+        if self.pipeline is not None:
+            if lost:
+                raise FrameError(
+                    "lossy wire under a client-side fault pipeline; the "
+                    "exact lane requires a clean transport"
+                )
+            # The sim's fate semantics, bit-exact: the member runs the
+            # pipeline at the boundary, exactly like the cohort driver.
+            self.member.deliver(start, program)
+        else:
+            data_lost = sum(1 for slot in lost if slot >= header.control_slots)
+            if data_lost:
+                self.metrics.count(FAULT_SLOTS_LOST, data_lost)
+            member = self.member
+            member.run_until(start)
+            member.env.now = start
+            self.channel.install(program, frozenset(lost), start)
+            if member.wake is None:
+                member.advance()
+        self._cycles_heard += 1
+        self._prev_program = program
+        self._next_start = start + header.total_slots
+
+    def _backfill_data(
+        self, header: ControlHeader, offset: int
+    ) -> Optional[Bucket]:
+        """Positions for a lost data bucket, from the previous cycle.
+
+        Sound in the flat and overflow organizations (item positions are
+        cycle-invariant); impossible in the clustered one.
+        """
+        if header.organization is MultiversionOrganization.CLUSTERED:
+            return None
+        prev = self._prev_program
+        if prev is None or offset >= len(prev.data_buckets):
+            return None
+        stale = prev.data_buckets[offset]
+        # Stale records keep items addressable (layout, autoprefetch
+        # arming); the lost slot is never receivable, so the stale
+        # content cannot reach a read.
+        return Bucket(index=stale.index, records=stale.records)
+
+    # -- frame dispatch ------------------------------------------------------
+
+    def _on_event(self, event: Union[Frame, FrameCorrupt]) -> None:
+        if isinstance(event, FrameCorrupt):
+            frame = event.frame
+            if frame.type == HELLO or self.member is None:
+                raise event
+            cur = self._open_cycle(frame.cycle)
+            if frame.type == CONTROL:
+                cur.control_corrupt = True
+            else:
+                cur.corrupt_slots.add(frame.slot)
+            return
+        frame = event
+        if frame.type == HELLO:
+            if self.member is None:
+                self._on_hello(frame.payload)
+            return
+        if self.member is None:
+            raise FrameError("broadcast frame before HELLO")
+        if frame.type == END:
+            blob = decode_json_payload(frame.payload)
+            self._finalize_cycle()
+            self._end_time = float(blob["end_time"])
+            self._done = True
+            return
+        assert self.codec is not None
+        if frame.type == CONTROL:
+            cur = self._open_cycle(frame.cycle)
+            cur.header = self.codec.decode_control(frame)
+        elif frame.type == DATA:
+            cur = self._open_cycle(frame.cycle)
+            if cur.header is not None:
+                cur.data[frame.slot] = self.codec.decode_data_bucket(
+                    frame, cur.header
+                )
+            else:
+                # Header not (yet) decodable: remember raw, decode later.
+                cur.data[frame.slot] = self._decode_data_headerless(frame)
+        elif frame.type == OVERFLOW:
+            cur = self._open_cycle(frame.cycle)
+            cur.overflow[frame.slot] = self.codec.decode_overflow_bucket(
+                frame
+            )
+        if self._cur is not None and self._cur.complete():
+            self._finalize_cycle()
+
+    def _decode_data_headerless(self, frame: Frame) -> Bucket:
+        """Data arriving before its control frame decodes.
+
+        Only reachable on a lossy wire (TCP preserves order, the server
+        sends control first), where the cycle is headed for a miss
+        anyway; old-record sections exist only under the clustered
+        organization, which the codec profile knows without the header.
+        """
+        assert self.codec is not None
+        clustered = (
+            self.codec.profile.organization
+            is MultiversionOrganization.CLUSTERED
+        )
+        pseudo = ControlHeader(
+            cycle=frame.cycle,
+            start_slot=0,
+            control_slots=1,
+            index_slots=0,
+            organization=(
+                MultiversionOrganization.CLUSTERED
+                if clustered
+                else self.codec.profile.organization
+            ),
+            num_data_buckets=0,
+            num_overflow_buckets=0,
+            control=None,  # type: ignore[arg-type]
+        )
+        return self.codec.decode_data_bucket(frame, pseudo)
+
+    # -- the session ---------------------------------------------------------
+
+    async def run(self) -> LiveClientResult:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            stream = FrameStream()
+            while not self._done:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break
+                for event in stream.feed(data):
+                    self._on_event(event)
+                    if self._done:
+                        break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self.member is None:
+            raise FrameError("connection closed before HELLO")
+        self._finalize_cycle()
+        end_time = (
+            self._end_time if self._end_time is not None else self._next_start
+        )
+        self.member.finish(end_time)
+        assert self.params is not None
+        return LiveClientResult(
+            scheme_label=self.scheme_label,
+            params=self.params,
+            metrics=self.metrics,
+            client=self.member.client,
+            cycles_heard=self._cycles_heard,
+            cycles_missed=self._cycles_missed,
+            end_time=end_time,
+        )

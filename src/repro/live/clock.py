@@ -1,0 +1,44 @@
+"""Cycle clocks: how broadcast slots map to wall-clock time.
+
+The live server airs one cycle, then waits out the cycle's airtime
+before building the next -- exactly the ``yield env.timeout(slots)`` of
+the DES server loop, with the kernel's virtual clock replaced by one of
+these.  The *logical* clock (cycle start = accumulated slot count,
+carried in every control frame) is what clients time against, so the
+wall-clock pace never affects protocol behaviour -- the property the
+sim-vs-live oracle leans on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class CycleClock:
+    """Waits out one cycle's airtime after its frames are written."""
+
+    async def wait(self, slots: int) -> None:
+        raise NotImplementedError
+
+
+class RealTimeClock(CycleClock):
+    """Paces the broadcast at ``slot_seconds`` wall-clock per slot."""
+
+    def __init__(self, slot_seconds: float) -> None:
+        if slot_seconds < 0:
+            raise ValueError(f"slot_seconds must be >= 0, got {slot_seconds}")
+        self.slot_seconds = slot_seconds
+
+    async def wait(self, slots: int) -> None:
+        await asyncio.sleep(slots * self.slot_seconds)
+
+
+class ImmediateClock(CycleClock):
+    """Deterministic full-speed clock for loopback oracle runs.
+
+    Yields to the event loop so connection I/O (and the clients pulling
+    it) keeps flowing between cycles, but spends no wall-clock time.
+    """
+
+    async def wait(self, slots: int) -> None:
+        await asyncio.sleep(0)

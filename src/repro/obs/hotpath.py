@@ -236,6 +236,92 @@ def bench_programs(
     return out
 
 
+# -- codec: the live wire format -------------------------------------------
+
+
+def _codec_once(
+    cycles: int, organization: Optional[str], sgt: bool = False
+) -> Dict[str, float]:
+    """Time encode + decode of real builder programs: the per-cycle wire
+    work of the live serving mode (`repro.live`), measured against the
+    same server loop the ``programs`` lanes drive."""
+    from repro.core.control import BroadcastRequirements
+    from repro.live.codec import CycleCodec, WireProfile
+    from repro.server.broadcast import ProgramBuilder
+    from repro.server.database import Database
+    from repro.server.itemstate import make_item_state
+    from repro.server.transactions import TransactionEngine
+
+    params = DEFAULTS.server
+    database = Database(params.broadcast_size)
+    retention = params.retention if organization is not None else 0
+    requirements = BroadcastRequirements(
+        needs_old_versions=organization is not None,
+        organization=organization or "overflow",
+        needs_sgt=sgt,
+    )
+    item_state = make_item_state(
+        database,
+        retention=retention,
+        columnar=True,
+        items_per_bucket=params.items_per_bucket,
+    )
+    version_store = item_state if organization is not None else None
+    engine = TransactionEngine(
+        params, database, version_store=version_store, rng=random.Random(11)
+    )
+    builder = ProgramBuilder(
+        params,
+        database,
+        version_store=version_store,
+        requirements=requirements,
+        item_state=item_state,
+    )
+    codec = CycleCodec(WireProfile.from_params(params, requirements))
+
+    gc.collect()
+    outcome = None
+    encoding = decoding = 0.0
+    wire_bytes = 0
+    for cycle in range(1, cycles + 1):
+        program = builder.build(cycle, outcome)
+        start = time.perf_counter()
+        frames = codec.encode_cycle(program, 0)
+        encoding += time.perf_counter() - start
+        wire_bytes += sum(len(frame) for frame in frames)
+        start = time.perf_counter()
+        codec.decode_cycle(frames)
+        decoding += time.perf_counter() - start
+        outcome = engine.run_cycle(cycle)
+    return {
+        "seconds": encoding,
+        "encodes": float(cycles),
+        "encodes_per_sec": cycles / encoding if encoding else 0.0,
+        "decodes_per_sec": cycles / decoding if decoding else 0.0,
+        "bytes_per_cycle": wire_bytes / cycles,
+    }
+
+
+def bench_codec(repeats: int, cycles: int = 60) -> Dict[str, object]:
+    """Encode/decode throughput over the three wire layouts the live
+    mode airs: flat (invalidation), overflow multiversion, and the
+    SGT-augmented control segment."""
+    out: Dict[str, object] = {"cycles": cycles}
+    variants = [
+        ("flat", None, False),
+        ("overflow", "overflow", False),
+        ("sgt", None, True),
+    ]
+    for label, organization, needs_sgt in variants:
+        best: Optional[Dict[str, float]] = None
+        for _ in range(max(1, repeats)):
+            sample = _codec_once(cycles, organization, sgt=needs_sgt)
+            if best is None or sample["seconds"] < best["seconds"]:
+                best = sample
+        out[label] = best
+    return out
+
+
 # -- clients: the end-to-end simulator -------------------------------------
 
 
@@ -481,6 +567,13 @@ def run_suite(
         f"  K=1 overhead {shard.get('k1_overhead', 0.0):+.1%}  "
         f"K=4 {shard['k4']['events_per_sec']:,.0f} events/s"
     )
+    say("codec: live wire format encode/decode ...")
+    codec = bench_codec(repeats, cycles=client_cycles)
+    say(
+        f"  flat {codec['flat']['encodes_per_sec']:,.1f} enc/s  "
+        f"overflow {codec['overflow']['encodes_per_sec']:,.1f} enc/s  "
+        f"sgt {codec['sgt']['encodes_per_sec']:,.1f} enc/s"
+    )
     say("profile: cProfile top functions ...")
     profile = bench_profile(top=profile_top, cycles=client_cycles)
 
@@ -497,6 +590,7 @@ def run_suite(
             "clients": clients,
             "cohort": cohort,
             "shard": shard,
+            "codec": codec,
             "profile": profile,
         },
     }
@@ -538,6 +632,11 @@ def attach_before(payload: Dict[str, object], before: Dict[str, object]) -> None
         ),
         ("cohort_clients_per_sec", ("suites", "cohort", "clients_per_sec")),
         ("shard_k4_events_per_sec", ("suites", "shard", "k4", "events_per_sec")),
+        ("codec_flat_encodes_per_sec", ("suites", "codec", "flat", "encodes_per_sec")),
+        (
+            "codec_overflow_encodes_per_sec",
+            ("suites", "codec", "overflow", "encodes_per_sec"),
+        ),
     ]
     for label, path in comparisons:
         now, then = _rate(payload, *path), _rate(before, *path)
@@ -601,6 +700,13 @@ def compare_against(
     for label, path in (
         ("dispatch events/sec", ("suites", "dispatch", "events_per_sec")),
         ("10-client events/sec", ("suites", "clients", "10", "events_per_sec")),
+        # Codec lanes skip cleanly against pre-live baselines (missing
+        # entries are not failures), so old payloads stay valid gates.
+        ("codec flat encodes/sec", ("suites", "codec", "flat", "encodes_per_sec")),
+        (
+            "codec overflow encodes/sec",
+            ("suites", "codec", "overflow", "encodes_per_sec"),
+        ),
     ):
         now, then = _rate(payload, *path), _rate(baseline, *path)
         if now is None or not then:

@@ -80,6 +80,15 @@ class ColumnarVersionStore(ItemStateStore):
     ) -> None:
         if retention < 0:
             raise ValueError(f"retention must be non-negative, got {retention}")
+        if retention > 0xFF:
+            # _old_count is a bytearray: one retained-version count per
+            # item, and retention bounds how many supersedure cohorts can
+            # hold a given item's versions at once.
+            raise ValueError(
+                f"retention {retention} exceeds the columnar store's "
+                "255-version has-old column; use the dict-backed store "
+                "(columnar=False) for deeper retention"
+            )
         self.database = database
         self.retention = retention
 

@@ -271,6 +271,14 @@ class ShardedSimulation:
                 f"shard_retention needs one entry per shard "
                 f"({num_shards}), got {len(shard_retention)}"
             )
+        if shard_retention is not None and columnar:
+            deep = [s for s in shard_retention if s > 0xFF]
+            if deep:
+                raise ValueError(
+                    f"shard_retention entries {deep} exceed the columnar "
+                    "store's 255-version has-old column; pass "
+                    "columnar=False for deeper retention"
+                )
         self.params = params
         self.num_shards = num_shards
         self.consistency = consistency
